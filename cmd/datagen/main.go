@@ -1,0 +1,146 @@
+// Command datagen generates the synthetic workloads the experiments
+// use: protein banks, genomes with planted genes, and family
+// benchmarks, written as FASTA files.
+//
+// Examples:
+//
+//	datagen -kind proteins -n 1000 -out bank.fa
+//	datagen -kind genome -len 2000000 -source bank.fa -plant 20 -out genome.fa
+//	datagen -kind family -families 25 -out-queries q.fa -out-genome g.fa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"seedblast"
+	"seedblast/internal/alphabet"
+	"seedblast/internal/seqio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+
+	var (
+		kind    = flag.String("kind", "proteins", "what to generate: proteins, genome, family")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		out     = flag.String("out", "", "output FASTA file (proteins, genome)")
+		n       = flag.Int("n", 1000, "proteins: number of sequences")
+		meanLen = flag.Int("mean-len", 330, "proteins: mean length")
+
+		genomeLen = flag.Int("len", 1_000_000, "genome: length in nucleotides")
+		source    = flag.String("source", "", "genome: protein FASTA to plant genes from")
+		plant     = flag.Int("plant", 10, "genome: number of genes to plant")
+		subRate   = flag.Float64("sub-rate", 0.2, "genome: substitution rate for planted genes")
+
+		families   = flag.Int("families", 25, "family: number of families")
+		members    = flag.Int("members", 4, "family: members per family")
+		memberLen  = flag.Int("member-len", 200, "family: member length")
+		divergence = flag.Float64("divergence", 0.45, "family: member divergence")
+		outQueries = flag.String("out-queries", "", "family: queries FASTA output")
+		outGenome  = flag.String("out-genome", "", "family: genome FASTA output")
+	)
+	flag.Parse()
+
+	var err error
+	switch *kind {
+	case "proteins":
+		err = genProteins(*out, *n, *meanLen, *seed)
+	case "genome":
+		err = genGenome(*out, *genomeLen, *source, *plant, *subRate, *seed)
+	case "family":
+		err = genFamily(*outQueries, *outGenome, *families, *members, *memberLen, *divergence, *seed)
+	default:
+		log.Fatalf("unknown kind %q (proteins, genome, family)", *kind)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func requireOut(path, flagName string) {
+	if path == "" {
+		log.Printf("missing -%s", flagName)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func genProteins(out string, n, meanLen int, seed int64) error {
+	requireOut(out, "out")
+	b := seedblast.GenerateProteins(seedblast.ProteinConfig{N: n, MeanLen: meanLen, Seed: seed})
+	if err := seedblast.WriteProteinFASTA(out, b); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d proteins (%d aa) to %s\n", b.Len(), b.TotalResidues(), out)
+	return nil
+}
+
+func genGenome(out string, length int, source string, plant int, subRate float64, seed int64) error {
+	requireOut(out, "out")
+	cfg := seedblast.GenomeConfig{
+		Length:       length,
+		PlantCount:   plant,
+		PlantSubRate: subRate,
+		Seed:         seed,
+	}
+	if source != "" {
+		b, err := seedblast.LoadProteinFASTA("source", source)
+		if err != nil {
+			return err
+		}
+		cfg.Source = b
+	} else {
+		cfg.PlantCount = 0
+	}
+	genome, genes, err := seedblast.GenerateGenome(cfg)
+	if err != nil {
+		return err
+	}
+	rec := &seqio.Record{
+		ID:          "synthetic",
+		Description: fmt.Sprintf("length=%d planted=%d seed=%d", length, len(genes), seed),
+		Seq:         []byte(alphabet.DecodeDNA(genome)),
+	}
+	if err := seqio.WriteFile(out, rec); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d nt genome with %d planted genes to %s\n", length, len(genes), out)
+	for _, g := range genes {
+		fmt.Printf("  gene: protein=%d start=%d len=%d frame=%s\n",
+			g.ProteinIdx, g.Start, g.NucLen, g.Frame)
+	}
+	return nil
+}
+
+func genFamily(outQueries, outGenome string, families, members, memberLen int, divergence float64, seed int64) error {
+	requireOut(outQueries, "out-queries")
+	requireOut(outGenome, "out-genome")
+	fb, err := seedblast.GenerateFamilyBenchmark(seedblast.FamilyConfig{
+		Families:         families,
+		MembersPerFamily: members,
+		MemberLen:        memberLen,
+		Divergence:       divergence,
+		Seed:             seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := seedblast.WriteProteinFASTA(outQueries, fb.Queries); err != nil {
+		return err
+	}
+	rec := &seqio.Record{
+		ID:          "family-genome",
+		Description: fmt.Sprintf("families=%d members=%d decoys=%d", families, members, fb.NumDecoys),
+		Seq:         []byte(alphabet.DecodeDNA(fb.Genome)),
+	}
+	if err := seqio.WriteFile(outGenome, rec); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d queries to %s and %d nt genome (%d members, %d decoys) to %s\n",
+		fb.Queries.Len(), outQueries, len(fb.Genome), len(fb.Members), fb.NumDecoys, outGenome)
+	return nil
+}

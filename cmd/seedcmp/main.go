@@ -1,0 +1,159 @@
+// Command seedcmp compares a protein bank against a genome with the
+// seed-based pipeline, printing matches in genome coordinates and the
+// per-step timing profile. It is the reproduction's equivalent of
+// running tblastn: either real FASTA inputs or a synthetic workload.
+//
+// Examples:
+//
+//	seedcmp -proteins bank.fa -genome chr1.fa
+//	seedcmp -synthetic 100 -genome-len 1000000 -plant 10 -engine rasc -pes 192
+//	seedcmp -synthetic 20 -report   # full BLAST-style report with alignments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"seedblast"
+	"seedblast/internal/matrix"
+	"seedblast/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seedcmp: ")
+
+	var (
+		proteinsPath = flag.String("proteins", "", "protein bank FASTA file")
+		genomePath   = flag.String("genome", "", "genome FASTA file")
+		synthetic    = flag.Int("synthetic", 0, "generate a synthetic bank of this many proteins instead of -proteins")
+		genomeLen    = flag.Int("genome-len", 500_000, "synthetic genome length in nucleotides (with -synthetic)")
+		plant        = flag.Int("plant", 10, "genes planted in the synthetic genome")
+		seed         = flag.Int64("seed", 1, "synthetic workload RNG seed")
+		engine       = flag.String("engine", "cpu", "step-2 engine: cpu or rasc")
+		pes          = flag.Int("pes", 192, "PE array size (rasc engine)")
+		fpgas        = flag.Int("fpgas", 1, "FPGAs used (rasc engine, 1 or 2)")
+		offloadGap   = flag.Bool("offload-gapped", false, "simulate the future-work gap operator on the second FPGA")
+		threshold    = flag.Int("threshold", 38, "ungapped score threshold")
+		evalue       = flag.Float64("evalue", 1e-3, "maximum E-value")
+		top          = flag.Int("top", 20, "matches to print (0 = all)")
+		full         = flag.Bool("report", false, "print a full BLAST-style report with alignment blocks")
+		codeName     = flag.String("code", "standard", "genetic code: standard/1, bacterial/11, mito/2")
+	)
+	flag.Parse()
+
+	bank, genome, err := loadInputs(*proteinsPath, *genomePath, *synthetic, *genomeLen, *plant, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := seedblast.DefaultOptions()
+	opt.UngappedThreshold = *threshold
+	opt.Gapped.MaxEValue = *evalue
+	opt.Gapped.Traceback = *full
+	code, err := seedblast.GeneticCodeByName(*codeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt.GeneticCode = code
+	switch *engine {
+	case "cpu":
+		opt.Engine = seedblast.EngineCPU
+	case "rasc":
+		opt.Engine = seedblast.EngineRASC
+		opt.RASC.NumPEs = *pes
+		opt.RASC.NumFPGAs = *fpgas
+		opt.RASC.OffloadGapped = *offloadGap
+	default:
+		log.Fatalf("unknown engine %q (cpu, rasc)", *engine)
+	}
+
+	res, err := seedblast.CompareGenome(bank, genome, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *full {
+		if err := report.WriteGenomeReport(os.Stdout, bank, genome, res, matrix.BLOSUM62); err != nil {
+			log.Fatal(err)
+		}
+		printTiming(res)
+		return
+	}
+
+	fmt.Printf("bank: %d proteins, %d aa; genome: %d nt\n",
+		bank.Len(), bank.TotalResidues(), len(genome))
+	fmt.Printf("pairs scored: %d; hits: %d; matches: %d\n",
+		res.Pairs, res.Hits, len(res.Matches))
+	printTiming(res)
+
+	n := len(res.Matches)
+	if *top > 0 && *top < n {
+		n = *top
+	}
+	fmt.Printf("\n%-14s %-8s %8s %10s %12s  %s\n",
+		"protein", "frame", "score", "bits", "E-value", "genome interval")
+	for _, m := range res.Matches[:n] {
+		fmt.Printf("%-14s %-8s %8d %10.1f %12.2e  [%d, %d)\n",
+			bank.ID(m.Protein), m.Frame, m.Score, m.BitScore, m.EValue,
+			m.NucStart, m.NucEnd)
+	}
+	if n < len(res.Matches) {
+		fmt.Printf("... and %d more\n", len(res.Matches)-n)
+	}
+}
+
+func printTiming(res *seedblast.GenomeResult) {
+	fr := res.Times.Fractions()
+	fmt.Printf("timing: step1 %v, step2 %v, step3 %v (%.1f%% / %.1f%% / %.1f%%)\n",
+		res.Times.Index, res.Times.Ungapped, res.Times.Gapped,
+		100*fr[0], 100*fr[1], 100*fr[2])
+	if res.Device != nil {
+		fmt.Printf("device: utilization %.1f%%, %.4fs simulated step 2 (compute %.4fs, DMA %.4fs)\n",
+			100*res.Device.Utilization,
+			res.Device.Seconds, res.Device.ComputeSeconds, res.Device.DMASeconds)
+	}
+	if res.GapDevice != nil {
+		fmt.Printf("gap operator: %d tasks, %.4fs simulated step 3\n",
+			res.GapDevice.Tasks, res.GapDevice.Seconds)
+	}
+}
+
+func loadInputs(proteinsPath, genomePath string, synthetic, genomeLen, plant int, seed int64) (*seedblast.Bank, []byte, error) {
+	var bank *seedblast.Bank
+	var genome []byte
+	var err error
+	switch {
+	case proteinsPath != "":
+		bank, err = seedblast.LoadProteinFASTA("bank", proteinsPath)
+		if err != nil {
+			return nil, nil, err
+		}
+	case synthetic > 0:
+		bank = seedblast.GenerateProteins(seedblast.ProteinConfig{N: synthetic, Seed: seed})
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch {
+	case genomePath != "":
+		genome, err = seedblast.LoadGenomeFASTA(genomePath)
+		if err != nil {
+			return nil, nil, err
+		}
+	default:
+		genome, _, err = seedblast.GenerateGenome(seedblast.GenomeConfig{
+			Length:       genomeLen,
+			Source:       bank,
+			PlantCount:   plant,
+			PlantSubRate: 0.2,
+			Seed:         seed + 1,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return bank, genome, nil
+}

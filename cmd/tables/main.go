@@ -1,0 +1,124 @@
+// Command tables regenerates the paper's evaluation tables (1-7) on a
+// synthetic workload at a chosen scale. Absolute seconds differ from
+// the paper (simulated accelerator, synthetic data, modern host); the
+// shapes — step-2 dominance, speedup growth with bank size and PE
+// count, the 2-FPGA gain, the profile shift to step 3, BLAST-parity
+// quality — are the reproduction targets.
+//
+// Examples:
+//
+//	tables                     # all tables at the default (small) scale
+//	tables -scale tiny -table 4
+//	tables -scale medium -pes 64,128,192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"seedblast/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+
+	var (
+		scaleName = flag.String("scale", "small", "workload scale: tiny, small, medium, paper")
+		table     = flag.Int("table", 0, "table to print (1-7, 8 = future-work projection); 0 = all")
+		pesFlag   = flag.String("pes", "64,128,192", "PE array sizes to sweep")
+		noBlast   = flag.Bool("no-baseline", false, "skip the sequential baseline (Table 2 empty)")
+		families  = flag.Int("families", 25, "Table 6: number of families")
+		verbose   = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	scale, err := experiments.ByName(*scaleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peCounts, err := parsePEs(*pesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	needMeasure := *table != 6
+	var ms *experiments.Measurements
+	if needMeasure {
+		if *verbose {
+			fmt.Printf("generating %s workload (genome %d nt, banks %v)...\n",
+				scale.Name, scale.GenomeLen, scale.BankSizes)
+		}
+		w, err := experiments.NewWorkload(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := experiments.MeasureOptions{
+			PECounts:  peCounts,
+			WithBlast: !*noBlast && (*table == 0 || *table == 2 || *table == 5),
+		}
+		if *verbose {
+			opt.Progress = func(format string, args ...any) {
+				fmt.Printf("  measuring "+format+"\n", args...)
+			}
+		}
+		ms, err = experiments.Measure(w, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	show := func(n int) bool { return *table == 0 || *table == n }
+	if show(1) {
+		fmt.Println(experiments.RunTable1(ms).Format())
+	}
+	if show(2) {
+		fmt.Println(experiments.FormatTable2(experiments.RunTable2(ms), peCounts))
+	}
+	if show(3) {
+		fmt.Println(experiments.FormatTable3(experiments.RunTable3(ms)))
+	}
+	if show(4) {
+		fmt.Println(experiments.FormatTable4(experiments.RunTable4(ms), peCounts))
+	}
+	if show(5) {
+		fmt.Println(experiments.FormatTable5(experiments.RunTable5(ms)))
+	}
+	if show(6) {
+		cfg := experiments.DefaultTable6Config()
+		cfg.Family.Families = *families
+		if *verbose {
+			fmt.Printf("running sensitivity benchmark (%d families)...\n", cfg.Family.Families)
+		}
+		t6, err := experiments.RunTable6(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t6.Format())
+	}
+	if show(7) {
+		fmt.Println(experiments.FormatTable7(experiments.RunTable7(ms)))
+	}
+	if show(8) {
+		rows, err := experiments.RunFutureWork(ms)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatFutureWork(rows))
+	}
+}
+
+func parsePEs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad PE count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

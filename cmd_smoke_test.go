@@ -1,0 +1,96 @@
+package seedblast_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one command into a temp dir and returns its path.
+func buildTool(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	out, err := exec.Command("go", "build", "-o", bin, "./"+pkg).CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdSeedcmpSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests in -short mode")
+	}
+	bin := buildTool(t, "cmd/seedcmp")
+	out := run(t, bin, "-synthetic", "8", "-genome-len", "30000", "-plant", "3", "-top", "5")
+	for _, want := range []string{"pairs scored", "E-value", "timing:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("seedcmp output missing %q:\n%s", want, out)
+		}
+	}
+	// RASC engine with the gap operator.
+	out = run(t, bin, "-synthetic", "6", "-genome-len", "20000", "-plant", "2",
+		"-engine", "rasc", "-pes", "64", "-offload-gapped")
+	if !strings.Contains(out, "gap operator") || !strings.Contains(out, "device:") {
+		t.Errorf("rasc output missing device sections:\n%s", out)
+	}
+}
+
+func TestCmdTablesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests in -short mode")
+	}
+	bin := buildTool(t, "cmd/tables")
+	out := run(t, bin, "-scale", "tiny", "-table", "3", "-pes", "32,64")
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "2 FPGAs") {
+		t.Errorf("tables output wrong:\n%s", out)
+	}
+}
+
+func TestCmdDatagenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests in -short mode")
+	}
+	bin := buildTool(t, "cmd/datagen")
+	dir := t.TempDir()
+	bank := filepath.Join(dir, "bank.fa")
+	out := run(t, bin, "-kind", "proteins", "-n", "5", "-out", bank)
+	if !strings.Contains(out, "wrote 5 proteins") {
+		t.Errorf("datagen proteins output wrong:\n%s", out)
+	}
+	genome := filepath.Join(dir, "genome.fa")
+	out = run(t, bin, "-kind", "genome", "-len", "20000", "-source", bank,
+		"-plant", "2", "-out", genome)
+	if !strings.Contains(out, "planted genes") {
+		t.Errorf("datagen genome output wrong:\n%s", out)
+	}
+	// The generated files must feed back into seedcmp.
+	seedcmp := buildTool(t, "cmd/seedcmp")
+	out = run(t, seedcmp, "-proteins", bank, "-genome", genome, "-top", "3")
+	if !strings.Contains(out, "matches:") {
+		t.Errorf("seedcmp on generated files:\n%s", out)
+	}
+}
+
+func TestCmdPsctraceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests in -short mode")
+	}
+	bin := buildTool(t, "cmd/psctrace")
+	out := run(t, bin, "-pes", "4", "-slot", "2", "-il0", "2", "-il1", "2", "-dense")
+	for _, want := range []string{"load phase", "finishes", "output pe=", "total cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("psctrace output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: compare a small protein bank against a synthetic genome
+// and print the similarity regions the pipeline finds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seedblast"
+)
+
+func main() {
+	// A bank of 20 random proteins...
+	proteins := seedblast.GenerateProteins(seedblast.ProteinConfig{
+		N:       20,
+		MeanLen: 200,
+		Seed:    1,
+	})
+
+	// ...and a 100 kb genome with 5 mutated copies of bank proteins
+	// hidden in it (the ground truth a real annotation run would seek).
+	genome, genes, err := seedblast.GenerateGenome(seedblast.GenomeConfig{
+		Length:       100_000,
+		Source:       proteins,
+		PlantCount:   5,
+		PlantSubRate: 0.2,
+		Seed:         2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planted %d genes in a %d nt genome\n", len(genes), len(genome))
+
+	// Run the three-step pipeline (tblastn-style: the genome is
+	// translated into its six reading frames internally).
+	res, err := seedblast.CompareGenome(proteins, genome, seedblast.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scored %d seed pairs, %d survived ungapped filtering, %d alignments\n\n",
+		res.Pairs, res.Hits, len(res.Matches))
+	for _, m := range res.Matches {
+		fmt.Printf("%-12s frame %-3s genome [%6d, %6d)  score %4d  E = %.2e\n",
+			proteins.ID(m.Protein), m.Frame, m.NucStart, m.NucEnd, m.Score, m.EValue)
+	}
+	fmt.Printf("\ntiming: index %v, ungapped %v, gapped %v\n",
+		res.Times.Index, res.Times.Ungapped, res.Times.Gapped)
+}

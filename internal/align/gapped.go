@@ -1,0 +1,440 @@
+package align
+
+import (
+	"bytes"
+	"fmt"
+
+	"seedblast/internal/alphabet"
+	"seedblast/internal/matrix"
+)
+
+// GapParams are affine gap penalties expressed as positive costs.
+// Opening a gap of length L costs Open + L·Extend, the NCBI convention;
+// the paper's comparisons run BLAST at its defaults (11, 1).
+type GapParams struct {
+	Open   int
+	Extend int
+}
+
+// DefaultGaps are BLAST's default BLOSUM62 gap costs.
+var DefaultGaps = GapParams{Open: 11, Extend: 1}
+
+const negInf = int32(-1 << 28)
+
+// Local is the result of a local alignment: score and half-open
+// coordinate ranges in both sequences.
+type Local struct {
+	Score  int
+	AStart int
+	AEnd   int
+	BStart int
+	BEnd   int
+}
+
+// Aligner runs affine-gap local alignments (Gotoh's algorithm). It
+// keeps scratch buffers between calls, so one Aligner per goroutine
+// avoids repeated allocation in the gapped stage's hot loop.
+type Aligner struct {
+	m   *matrix.Matrix
+	gap GapParams
+	h   []int32
+	e   []int32
+}
+
+// NewAligner returns an Aligner for the given matrix and gap costs.
+func NewAligner(m *matrix.Matrix, gap GapParams) *Aligner {
+	return &Aligner{m: m, gap: gap}
+}
+
+func (al *Aligner) scratch(n int) (h, e []int32) {
+	if cap(al.h) < n {
+		al.h = make([]int32, n)
+		al.e = make([]int32, n)
+	}
+	h, e = al.h[:n], al.e[:n]
+	for j := range h {
+		h[j] = 0
+		e[j] = negInf
+	}
+	return h, e
+}
+
+// Local computes the best local alignment score of a against b with
+// affine gaps, returning score and end coordinates (half-open). Start
+// coordinates are recovered by a reverse pass only when needed — use
+// Traceback for full coordinates and operations.
+func (al *Aligner) Local(a, b []byte) Local {
+	openExt := int32(al.gap.Open + al.gap.Extend)
+	ext := int32(al.gap.Extend)
+	table := al.m.Table()
+	h, e := al.scratch(len(b) + 1)
+	var best Local
+	for i := 1; i <= len(a); i++ {
+		row := table[int(a[i-1])*24 : int(a[i-1])*24+24]
+		var diag int32 // H[i-1][j-1]
+		f := negInf
+		for j := 1; j <= len(b); j++ {
+			up := h[j] // H[i-1][j]
+			val := diag + int32(row[b[j-1]])
+			diag = up
+			if e[j] > val {
+				val = e[j]
+			}
+			if f > val {
+				val = f
+			}
+			if val < 0 {
+				val = 0
+			}
+			h[j] = val
+			if int(val) > best.Score {
+				best = Local{Score: int(val), AEnd: i, BEnd: j}
+			}
+			// E: gap in a (consume b); F: gap in b (consume a).
+			e[j] = maxI32(val-openExt, e[j]-ext)
+			f = maxI32(val-openExt, f-ext)
+		}
+	}
+	if best.Score == 0 {
+		return Local{}
+	}
+	best.AStart, best.BStart = al.localStart(a, b, best)
+	return best
+}
+
+// localStart recovers the start of the best alignment by running the
+// same DP on the reversed prefixes ending at the known endpoint.
+func (al *Aligner) localStart(a, b []byte, end Local) (int, int) {
+	ra := reverse(a[:end.AEnd])
+	rb := reverse(b[:end.BEnd])
+	openExt := int32(al.gap.Open + al.gap.Extend)
+	ext := int32(al.gap.Extend)
+	table := al.m.Table()
+	h, e := al.scratch(len(rb) + 1)
+	bestScore, bi, bj := int32(0), 0, 0
+	for i := 1; i <= len(ra); i++ {
+		row := table[int(ra[i-1])*24 : int(ra[i-1])*24+24]
+		var diag int32
+		f := negInf
+		for j := 1; j <= len(rb); j++ {
+			up := h[j]
+			val := diag + int32(row[rb[j-1]])
+			diag = up
+			if e[j] > val {
+				val = e[j]
+			}
+			if f > val {
+				val = f
+			}
+			if val < 0 {
+				val = 0
+			}
+			h[j] = val
+			if val > bestScore {
+				bestScore, bi, bj = val, i, j
+			}
+			e[j] = maxI32(val-openExt, e[j]-ext)
+			f = maxI32(val-openExt, f-ext)
+		}
+	}
+	return end.AEnd - bi, end.BEnd - bj
+}
+
+func reverse(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = c
+	}
+	return out
+}
+
+// LocalBanded computes a local alignment restricted to the diagonal
+// band |(j - i) - diag| ≤ band, the gapped-stage shape: hits from the
+// ungapped stage fix the diagonal and homologous regions stay near it.
+// Cells outside the band are unreachable. Cost is O(len(a)·band).
+func (al *Aligner) LocalBanded(a, b []byte, diag, band int) Local {
+	best := al.LocalBandedEnd(a, b, diag, band)
+	if best.Score == 0 {
+		return Local{}
+	}
+	// Recover starts with a reverse banded pass on the bounded window:
+	// reversed coordinates map (i, j) to (AEnd-i, BEnd-j), so the band
+	// |(j-i) - diag| ≤ band becomes |(j'-i') - rd| ≤ band with
+	// rd = BEnd - AEnd - diag.
+	ra := reverse(a[:best.AEnd])
+	rb := reverse(b[:best.BEnd])
+	rd := best.BEnd - best.AEnd - diag
+	sub := al.LocalBandedEnd(ra, rb, rd, band)
+	best.AStart = best.AEnd - sub.AEnd
+	best.BStart = best.BEnd - sub.BEnd
+	return best
+}
+
+// LocalBandedEnd is LocalBanded without start recovery (score and
+// endpoint only); exported for tests that validate the banded DP
+// against the full Local.
+func (al *Aligner) LocalBandedEnd(a, b []byte, diag, band int) Local {
+	if band < 0 {
+		band = 0
+	}
+	openExt := int32(al.gap.Open + al.gap.Extend)
+	ext := int32(al.gap.Extend)
+	table := al.m.Table()
+	h, e, prevH, prevE := al.scratchBanded(len(b) + 2)
+	var best Local
+	for i := 1; i <= len(a); i++ {
+		lo := max(1, i+diag-band)
+		hi := min(len(b), i+diag+band)
+		if i+diag-band > len(b) {
+			break // band has left the matrix; later rows are all empty
+		}
+		if hi < 1 {
+			continue // band has not yet entered the matrix
+		}
+		row := table[int(a[i-1])*24 : int(a[i-1])*24+24]
+		f := negInf
+		for j := lo; j <= hi; j++ {
+			val := prevH[j-1] + int32(row[b[j-1]])
+			pe := maxI32(prevH[j]-openExt, prevE[j]-ext)
+			if pe > val {
+				val = pe
+			}
+			if f > val {
+				val = f
+			}
+			if val < 0 {
+				val = 0
+			}
+			h[j] = val
+			e[j] = pe
+			if int(val) > best.Score {
+				best = Local{Score: int(val), AEnd: i, BEnd: j}
+			}
+			f = maxI32(val-openExt, f-ext)
+		}
+		// Sentinels: the next row reads columns lo'-1..hi' with
+		// lo' ≥ lo and hi' ≤ hi+1, so resetting the cells flanking the
+		// written range keeps out-of-band cells unreachable without a
+		// full-row clear.
+		if lo-1 >= 0 {
+			h[lo-1], e[lo-1] = 0, negInf
+		}
+		if hi+1 < len(h) {
+			h[hi+1], e[hi+1] = 0, negInf
+		}
+		prevH, h = h, prevH
+		prevE, e = e, prevE
+	}
+	return best
+}
+
+// scratchBanded returns four zeroed row buffers of length n for the
+// banded DP, reusing Aligner storage.
+func (al *Aligner) scratchBanded(n int) (h, e, prevH, prevE []int32) {
+	if cap(al.h) < 2*n {
+		al.h = make([]int32, 2*n)
+		al.e = make([]int32, 2*n)
+	}
+	buf, ebuf := al.h[:2*n], al.e[:2*n]
+	h, prevH = buf[:n], buf[n:]
+	e, prevE = ebuf[:n], ebuf[n:]
+	for j := 0; j < n; j++ {
+		h[j], prevH[j] = 0, 0
+		e[j], prevE[j] = negInf, negInf
+	}
+	return h, e, prevH, prevE
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Op is one run of alignment operations.
+type Op struct {
+	Kind OpKind
+	Len  int
+}
+
+// OpKind distinguishes aligned pairs from gaps.
+type OpKind byte
+
+const (
+	OpAligned OpKind = 'M' // aligned pair (match or substitution)
+	OpInsB    OpKind = 'I' // gap in a, residues consumed from b
+	OpDelB    OpKind = 'D' // gap in b, residues consumed from a
+)
+
+// Direction-matrix bit layout for Traceback. Per cell (i, j):
+//
+//	bits 0-1: source of H[i][j] — 0 stop, 1 diagonal, 2 vertical gap
+//	          state V[i][j], 3 horizontal gap state G[i][j];
+//	bit 2:    V[i][j] extends V[i-1][j] (otherwise opens from H[i-1][j]);
+//	bit 3:    G[i][j] extends G[i][j-1] (otherwise opens from H[i][j-1]).
+//
+// V is the gap-in-b state (consumes a, moves up); G is the gap-in-a
+// state (consumes b, moves left).
+const (
+	tbSrcMask  = 3
+	tbStop     = 0
+	tbDiag     = 1
+	tbVert     = 2
+	tbHoriz    = 3
+	tbVertExt  = 4
+	tbHorizExt = 8
+)
+
+// Traceback computes the best local alignment with full operations.
+// It stores a direction matrix of (len(a)+1)·(len(b)+1) bytes, so use
+// it on bounded windows (the gapped stage aligns query-sized windows).
+func (al *Aligner) Traceback(a, b []byte) (Local, []Op) {
+	openExt := int32(al.gap.Open + al.gap.Extend)
+	ext := int32(al.gap.Extend)
+	table := al.m.Table()
+	cols := len(b) + 1
+	dir := make([]byte, (len(a)+2)*cols)
+	h, e := al.scratch(len(b) + 1)
+	var best Local
+	for i := 1; i <= len(a); i++ {
+		row := table[int(a[i-1])*24 : int(a[i-1])*24+24]
+		var diag int32
+		f := negInf
+		for j := 1; j <= len(b); j++ {
+			up := h[j] // H[i-1][j]
+			val := diag + int32(row[b[j-1]])
+			src := byte(tbDiag)
+			if e[j] > val { // e[j] = V[i][j], provenance already recorded
+				val = e[j]
+				src = tbVert
+			}
+			if f > val { // f = G[i][j]
+				val = f
+				src = tbHoriz
+			}
+			if val <= 0 {
+				val = 0
+				src = tbStop
+			}
+			diag = up
+			h[j] = val
+			dir[i*cols+j] |= src
+			if int(val) > best.Score {
+				best = Local{Score: int(val), AEnd: i, BEnd: j}
+			}
+			// V[i+1][j] = max(H[i][j]-openExt, V[i][j]-ext): record its
+			// provenance in the next row's cell.
+			if e[j]-ext >= val-openExt {
+				e[j] -= ext
+				dir[(i+1)*cols+j] |= tbVertExt
+			} else {
+				e[j] = val - openExt
+			}
+			// G[i][j+1] = max(H[i][j]-openExt, G[i][j]-ext): record its
+			// provenance in the next column's cell.
+			if f-ext >= val-openExt {
+				f -= ext
+				if j+1 <= len(b) {
+					dir[i*cols+j+1] |= tbHorizExt
+				}
+			} else {
+				f = val - openExt
+			}
+		}
+	}
+	if best.Score == 0 {
+		return Local{}, nil
+	}
+	// Walk back from the endpoint.
+	var rev []Op
+	pushOp := func(k OpKind) {
+		if len(rev) > 0 && rev[len(rev)-1].Kind == k {
+			rev[len(rev)-1].Len++
+			return
+		}
+		rev = append(rev, Op{Kind: k, Len: 1})
+	}
+	i, j := best.AEnd, best.BEnd
+	const stH, stV, stG = 0, 1, 2
+	state := stH
+walk:
+	for i > 0 && j > 0 {
+		d := dir[i*cols+j]
+		switch state {
+		case stH:
+			switch d & tbSrcMask {
+			case tbStop:
+				break walk
+			case tbDiag:
+				pushOp(OpAligned)
+				i--
+				j--
+			case tbVert:
+				state = stV
+			case tbHoriz:
+				state = stG
+			}
+		case stV: // gap in b: consume a[i-1], move up
+			pushOp(OpDelB)
+			if d&tbVertExt == 0 {
+				state = stH
+			}
+			i--
+		case stG: // gap in a: consume b[j-1], move left
+			pushOp(OpInsB)
+			if d&tbHorizExt == 0 {
+				state = stH
+			}
+			j--
+		}
+	}
+	best.AStart, best.BStart = i, j
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return best, rev
+}
+
+// FormatAlignment renders a three-line alignment (query, midline,
+// subject) for the traceback ops, starting at the Local coordinates.
+// The midline shows the residue for identities, '+' for positive
+// substitution scores and ' ' otherwise, as BLAST output does.
+func FormatAlignment(a, b []byte, loc Local, ops []Op, m *matrix.Matrix) string {
+	var qa, mid, sa bytes.Buffer
+	i, j := loc.AStart, loc.BStart
+	for _, op := range ops {
+		for k := 0; k < op.Len; k++ {
+			switch op.Kind {
+			case OpAligned:
+				ca, cb := a[i], b[j]
+				qa.WriteByte(alphabet.ProteinLetter(ca))
+				sa.WriteByte(alphabet.ProteinLetter(cb))
+				switch {
+				case ca == cb:
+					mid.WriteByte(alphabet.ProteinLetter(ca))
+				case m.Score(ca, cb) > 0:
+					mid.WriteByte('+')
+				default:
+					mid.WriteByte(' ')
+				}
+				i++
+				j++
+			case OpInsB:
+				qa.WriteByte('-')
+				mid.WriteByte(' ')
+				sa.WriteByte(alphabet.ProteinLetter(b[j]))
+				j++
+			case OpDelB:
+				qa.WriteByte(alphabet.ProteinLetter(a[i]))
+				mid.WriteByte(' ')
+				sa.WriteByte('-')
+				i++
+			}
+		}
+	}
+	return fmt.Sprintf("Query  %4d %s %d\n            %s\nSbjct  %4d %s %d\n",
+		loc.AStart+1, qa.String(), i,
+		mid.String(),
+		loc.BStart+1, sa.String(), j)
+}

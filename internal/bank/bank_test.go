@@ -1,0 +1,66 @@
+package bank
+
+import (
+	"strings"
+	"testing"
+
+	"seedblast/internal/alphabet"
+	"seedblast/internal/seqio"
+)
+
+func TestBankBasics(t *testing.T) {
+	b := New("test")
+	if b.Len() != 0 || b.TotalResidues() != 0 {
+		t.Fatal("new bank not empty")
+	}
+	b.Add("a", alphabet.MustEncodeProtein("MKV"))
+	b.Add("b", alphabet.MustEncodeProtein("WWWW"))
+	if b.Len() != 2 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if b.TotalResidues() != 7 {
+		t.Errorf("TotalResidues = %d, want 7", b.TotalResidues())
+	}
+	if b.ID(1) != "b" || alphabet.DecodeProtein(b.Seq(1)) != "WWWW" {
+		t.Error("sequence retrieval broken")
+	}
+	if b.Name() != "test" {
+		t.Errorf("Name = %q", b.Name())
+	}
+}
+
+func TestFromRecords(t *testing.T) {
+	recs := []*seqio.Record{
+		{ID: "p1", Seq: []byte("MKV")},
+		{ID: "p2", Seq: []byte("arw")},
+	}
+	b, err := FromRecords("x", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 || alphabet.DecodeProtein(b.Seq(1)) != "ARW" {
+		t.Error("FromRecords mis-encoded")
+	}
+}
+
+func TestFromRecordsInvalid(t *testing.T) {
+	recs := []*seqio.Record{{ID: "bad", Seq: []byte("MK1")}}
+	if _, err := FromRecords("x", recs); err == nil {
+		t.Error("invalid residue accepted")
+	} else if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error %q should name the record", err)
+	}
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	b := New("rt")
+	b.Add("a", alphabet.MustEncodeProtein("MKVLLA"))
+	recs := b.Records()
+	back, err := FromRecords("rt", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alphabet.DecodeProtein(back.Seq(0)) != "MKVLLA" {
+		t.Error("Records round trip failed")
+	}
+}

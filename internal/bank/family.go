@@ -1,0 +1,180 @@
+package bank
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seedblast/internal/alphabet"
+	"seedblast/internal/translate"
+)
+
+// FamilyConfig parameterises GenerateFamilyBenchmark.
+type FamilyConfig struct {
+	Families         int     // number of protein families (the paper uses 102 queries)
+	MembersPerFamily int     // homologs planted per family
+	MemberLen        int     // ancestor protein length
+	Divergence       float64 // per-residue substitution rate between members
+	DecoyGenes       int     // unrelated genes planted as noise
+	GenomeLen        int     // subject genome length in nucleotides
+	Seed             int64
+}
+
+func (c FamilyConfig) withDefaults() FamilyConfig {
+	if c.Families == 0 {
+		c.Families = 20
+	}
+	if c.MembersPerFamily == 0 {
+		c.MembersPerFamily = 4
+	}
+	if c.MemberLen == 0 {
+		c.MemberLen = 200
+	}
+	if c.Divergence == 0 {
+		c.Divergence = 0.35
+	}
+	if c.DecoyGenes == 0 {
+		c.DecoyGenes = c.Families * c.MembersPerFamily
+	}
+	if c.GenomeLen == 0 {
+		needed := (c.Families*c.MembersPerFamily + c.DecoyGenes) * c.MemberLen * 3
+		c.GenomeLen = needed*2 + 50_000
+	}
+	return c
+}
+
+// FamilyBenchmark is the synthetic stand-in for the paper's §4.4
+// evaluation (102 queries against the yeast genome, truth by family
+// annotation): queries with known family labels are searched against a
+// genome containing planted homologs of every family plus decoys.
+type FamilyBenchmark struct {
+	Queries     *Bank        // one query protein per family
+	QueryFamily []int        // family id of each query
+	Genome      []byte       // encoded subject DNA
+	Members     []PlantedHit // planted family members with genome intervals
+	NumDecoys   int          // unrelated genes planted as noise
+}
+
+// PlantedHit is a planted family member: a genome interval whose
+// translation is homologous to every query of the same family.
+type PlantedHit struct {
+	Family int
+	Start  int // forward-strand nucleotide offset
+	NucLen int
+	Frame  translate.Frame
+}
+
+// GenerateFamilyBenchmark builds the sensitivity/selectivity workload.
+// Every family has one query (a mutated copy of the ancestor) and
+// MembersPerFamily planted genome members (independently mutated
+// copies), so an ideal search ranks all same-family intervals above the
+// decoys.
+func GenerateFamilyBenchmark(cfg FamilyConfig) (*FamilyBenchmark, error) {
+	cfg = cfg.withDefaults()
+	rng := NewRNG(cfg.Seed)
+
+	queries := New("family-queries")
+	members := New("family-members")
+	memberFamily := make([]int, 0, cfg.Families*cfg.MembersPerFamily)
+	for fam := 0; fam < cfg.Families; fam++ {
+		ancestor := RandomProtein(rng, cfg.MemberLen)
+		query := MutateProtein(rng, ancestor, cfg.Divergence/2)
+		queries.Add(fmt.Sprintf("query%03d", fam), query)
+		for m := 0; m < cfg.MembersPerFamily; m++ {
+			member := MutateProtein(rng, ancestor, cfg.Divergence)
+			members.Add(fmt.Sprintf("fam%03d_m%d", fam, m), member)
+			memberFamily = append(memberFamily, fam)
+		}
+	}
+	queryFamily := make([]int, cfg.Families)
+	for i := range queryFamily {
+		queryFamily[i] = i
+	}
+
+	// Background genome, then every member planted exactly once, then
+	// unrelated decoy genes filling the remaining space.
+	dna := make([]byte, cfg.GenomeLen)
+	for i := range dna {
+		dna[i] = byte(rng.Intn(4))
+	}
+	occupied := make([]bool, cfg.GenomeLen)
+	bench := &FamilyBenchmark{
+		Queries:     queries,
+		QueryFamily: queryFamily,
+	}
+	for idx := 0; idx < members.Len(); idx++ {
+		gene, err := plantOne(rng, dna, occupied, members.Seq(idx))
+		if err != nil {
+			return nil, fmt.Errorf("bank: planting family member %d: %w", idx, err)
+		}
+		bench.Members = append(bench.Members, PlantedHit{
+			Family: memberFamily[idx],
+			Start:  gene.Start,
+			NucLen: gene.NucLen,
+			Frame:  gene.Frame,
+		})
+	}
+	for d := 0; d < cfg.DecoyGenes; d++ {
+		decoy := RandomProtein(rng, cfg.MemberLen)
+		if _, err := plantOne(rng, dna, occupied, decoy); err != nil {
+			break // genome full: fewer decoys, still a valid benchmark
+		}
+		bench.NumDecoys++
+	}
+	bench.Genome = dna
+	return bench, nil
+}
+
+// plantOne reverse-translates a protein and writes it into a free slot
+// of the genome on a random strand, marking the interval occupied.
+func plantOne(rng *rand.Rand, dna []byte, occupied []bool, protein []byte) (PlantedGene, error) {
+	coding, err := ReverseTranslate(rng, protein)
+	if err != nil {
+		return PlantedGene{}, err
+	}
+	start, ok := findSlot(rng, occupied, len(coding))
+	if !ok {
+		return PlantedGene{}, fmt.Errorf("no free slot for %d nucleotides", len(coding))
+	}
+	reverse := rng.Intn(2) == 1
+	placed := coding
+	if reverse {
+		placed = alphabet.ReverseComplement(coding)
+	}
+	copy(dna[start:], placed)
+	for i := start; i < start+len(placed); i++ {
+		occupied[i] = true
+	}
+	return PlantedGene{
+		Start:  start,
+		NucLen: len(placed),
+		Frame:  frameOf(start, len(placed), len(dna), reverse),
+	}, nil
+}
+
+// TrueHit reports whether a genome interval [start, start+nucLen) is a
+// true positive for family fam: it must overlap a planted member of
+// that family by at least half the member's length.
+func (fb *FamilyBenchmark) TrueHit(fam, start, nucLen int) bool {
+	for _, m := range fb.Members {
+		if m.Family != fam {
+			continue
+		}
+		lo := max(start, m.Start)
+		hi := min(start+nucLen, m.Start+m.NucLen)
+		if hi-lo >= m.NucLen/2 {
+			return true
+		}
+	}
+	return false
+}
+
+// FamilySize returns the number of planted members of a family.
+func (fb *FamilyBenchmark) FamilySize(fam int) int {
+	n := 0
+	for _, m := range fb.Members {
+		if m.Family == fam {
+			n++
+		}
+	}
+	return n
+}

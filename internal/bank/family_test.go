@@ -1,0 +1,104 @@
+package bank
+
+import (
+	"testing"
+
+	"seedblast/internal/translate"
+)
+
+func smallFamilyCfg() FamilyConfig {
+	return FamilyConfig{
+		Families:         4,
+		MembersPerFamily: 3,
+		MemberLen:        80,
+		Divergence:       0.3,
+		DecoyGenes:       5,
+		Seed:             21,
+	}
+}
+
+func TestFamilyBenchmarkStructure(t *testing.T) {
+	fb, err := GenerateFamilyBenchmark(smallFamilyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Queries.Len() != 4 {
+		t.Fatalf("queries = %d", fb.Queries.Len())
+	}
+	if len(fb.Members) != 12 {
+		t.Fatalf("members = %d, want 12", len(fb.Members))
+	}
+	if fb.NumDecoys == 0 {
+		t.Error("no decoys planted")
+	}
+	for fam := 0; fam < 4; fam++ {
+		if fb.FamilySize(fam) != 3 {
+			t.Errorf("family %d size %d, want 3", fam, fb.FamilySize(fam))
+		}
+	}
+}
+
+func TestFamilyMembersReadBackInFrame(t *testing.T) {
+	fb, err := GenerateFamilyBenchmark(smallFamilyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := translate.SixFrames(fb.Genome)
+	frameProt := map[translate.Frame][]byte{}
+	for _, ft := range frames {
+		frameProt[ft.Frame] = ft.Protein
+	}
+	for i, m := range fb.Members {
+		codonStart := m.Start
+		if m.Frame < 0 {
+			codonStart = m.Start + m.NucLen - 3
+		}
+		aaPos := translate.ProteinPos(m.Frame, codonStart, len(fb.Genome))
+		if aaPos < 0 {
+			t.Fatalf("member %d not aligned to frame %s", i, m.Frame)
+		}
+		if aaPos+m.NucLen/3 > len(frameProt[m.Frame]) {
+			t.Fatalf("member %d extends past frame translation", i)
+		}
+	}
+}
+
+func TestTrueHitOverlapRule(t *testing.T) {
+	fb := &FamilyBenchmark{
+		Members: []PlantedHit{{Family: 2, Start: 1000, NucLen: 300}},
+	}
+	if !fb.TrueHit(2, 1000, 300) {
+		t.Error("exact overlap not recognised")
+	}
+	if !fb.TrueHit(2, 1100, 300) {
+		t.Error("half overlap not recognised")
+	}
+	if fb.TrueHit(2, 1260, 300) {
+		t.Error("small overlap should not count")
+	}
+	if fb.TrueHit(1, 1000, 300) {
+		t.Error("wrong family matched")
+	}
+}
+
+func TestFamilyBenchmarkDeterministic(t *testing.T) {
+	a, err := GenerateFamilyBenchmark(smallFamilyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFamilyBenchmark(smallFamilyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Genome) != string(b.Genome) {
+		t.Error("same seed produced different genomes")
+	}
+}
+
+func TestFamilyBenchmarkTooSmallGenome(t *testing.T) {
+	cfg := smallFamilyCfg()
+	cfg.GenomeLen = 500 // cannot hold 12 members of 240nt
+	if _, err := GenerateFamilyBenchmark(cfg); err == nil {
+		t.Error("overfull genome accepted")
+	}
+}

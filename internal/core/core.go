@@ -1,0 +1,332 @@
+// Package core implements the paper's primary contribution: a
+// bank-vs-bank protein comparison pipeline structured so that the
+// dominant computation is a small critical section suitable for
+// hardware acceleration. The pipeline has three steps (§2.1):
+//
+//	step 1  indexing           — both banks indexed by subset seed
+//	step 2  ungapped extension — all seed pairs scored over W+2N windows
+//	step 3  gapped extension   — surviving pairs aligned with gaps
+//
+// Step 2 runs either on the CPU engine (package ungapped) or on the
+// simulated RASC-100 accelerator (package hwsim); results are
+// bit-identical between engines. CompareGenome adds the tblastn-style
+// workflow: the genome is translated into its six reading frames and
+// alignments are mapped back to nucleotide coordinates.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/gapped"
+	"seedblast/internal/hwsim"
+	"seedblast/internal/index"
+	"seedblast/internal/matrix"
+	"seedblast/internal/seed"
+	"seedblast/internal/translate"
+	"seedblast/internal/ungapped"
+)
+
+// Engine selects where step 2 runs.
+type Engine int
+
+// Engines.
+const (
+	EngineCPU  Engine = iota // parallel software engine
+	EngineRASC               // simulated RASC-100 accelerator
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineCPU:
+		return "cpu"
+	case EngineRASC:
+		return "rasc"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// RASCOptions configures the simulated accelerator when Engine is
+// EngineRASC. Zero values take the paper's defaults.
+type RASCOptions struct {
+	NumPEs       int     // default 192
+	NumFPGAs     int     // default 1 (the paper's main tables use one FPGA)
+	SlotSize     int     // default 8
+	FIFODepth    int     // default 64
+	ClockHz      float64 // default 100 MHz
+	DMABandwidth float64 // default 3.2 GB/s
+	DMALatency   float64 // default 2 µs
+	// OffloadGapped enables the paper's future-work configuration
+	// (§5): the second FPGA carries a gap-extension operator, so step 3
+	// is also simulated in hardware. Requires NumFPGAs == 1 for step 2
+	// (the other FPGA is busy with gapped extension).
+	OffloadGapped bool
+}
+
+func (r RASCOptions) withDefaults() RASCOptions {
+	if r.NumPEs == 0 {
+		r.NumPEs = 192
+	}
+	if r.NumFPGAs == 0 {
+		r.NumFPGAs = 1
+	}
+	if r.SlotSize == 0 {
+		r.SlotSize = 8
+	}
+	if r.FIFODepth == 0 {
+		r.FIFODepth = 64
+	}
+	if r.ClockHz == 0 {
+		r.ClockHz = 100e6
+	}
+	if r.DMABandwidth == 0 {
+		r.DMABandwidth = 3.2e9
+	}
+	if r.DMALatency == 0 {
+		r.DMALatency = 2e-6
+	}
+	return r
+}
+
+// Options parameterises the pipeline. The zero value is not valid; use
+// DefaultOptions and override fields.
+type Options struct {
+	Seed              seed.Model
+	N                 int // neighbourhood extension; windows are W+2N
+	Matrix            *matrix.Matrix
+	UngappedThreshold int
+	Gapped            gapped.Config
+	Engine            Engine
+	RASC              RASCOptions
+	Workers           int // CPU engine parallelism; 0 = GOMAXPROCS
+	// GeneticCode selects the translation table for genome modes
+	// (tblastn/blastx/tblastx); nil means the standard code. Bacterial
+	// and vertebrate-mitochondrial codes are provided by package
+	// translate.
+	GeneticCode *translate.Code
+}
+
+// code resolves the genetic code option.
+func (o *Options) code() *translate.Code {
+	if o.GeneticCode != nil {
+		return o.GeneticCode
+	}
+	return translate.StandardCode
+}
+
+// DefaultOptions returns the pipeline defaults: the W=4 subset seed,
+// N=14 (32-residue windows), BLOSUM62, ungapped threshold 38 and the
+// gapped stage at E ≤ 10⁻³.
+func DefaultOptions() Options {
+	return Options{
+		Seed:              seed.Default(),
+		N:                 14,
+		Matrix:            matrix.BLOSUM62,
+		UngappedThreshold: 38,
+		Gapped:            gapped.DefaultConfig(),
+	}
+}
+
+// StepTimes records per-step durations. For the RASC engine, Ungapped
+// is the simulated accelerator time (cycles at the configured clock
+// plus DMA), not host wall time.
+type StepTimes struct {
+	Index    time.Duration
+	Ungapped time.Duration
+	Gapped   time.Duration
+}
+
+// Total sums the three steps.
+func (st StepTimes) Total() time.Duration {
+	return st.Index + st.Ungapped + st.Gapped
+}
+
+// Fractions returns each step's share of the total, in step order
+// (the quantity Tables 1 and 7 report).
+func (st StepTimes) Fractions() [3]float64 {
+	tot := st.Total().Seconds()
+	if tot == 0 {
+		return [3]float64{}
+	}
+	return [3]float64{
+		st.Index.Seconds() / tot,
+		st.Ungapped.Seconds() / tot,
+		st.Gapped.Seconds() / tot,
+	}
+}
+
+// Result is the outcome of a bank-vs-bank comparison.
+type Result struct {
+	Alignments []gapped.Alignment
+	Hits       int   // step-2 survivors
+	Pairs      int64 // step-2 scorings performed
+	Times      StepTimes
+	Device     *hwsim.Step2Report // non-nil when Engine == EngineRASC
+	GapDevice  *hwsim.GapOpReport // non-nil when RASC.OffloadGapped
+	GappedWork gapped.Stats
+	Stats0     index.Stats
+	Stats1     index.Stats
+}
+
+// Compare runs the full three-step pipeline on two protein banks.
+func Compare(b0, b1 *bank.Bank, opt Options) (*Result, error) {
+	if opt.Seed == nil || opt.Matrix == nil {
+		return nil, fmt.Errorf("core: Seed and Matrix are required (use DefaultOptions)")
+	}
+	if opt.N < 0 {
+		return nil, fmt.Errorf("core: negative neighbourhood %d", opt.N)
+	}
+
+	// Step 1: index both banks (parallel build unless the caller pinned
+	// Workers to 1 for sequential-profile measurements).
+	t0 := time.Now()
+	ix0, err := index.BuildParallel(b0, opt.Seed, opt.N, opt.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("core: indexing bank 0: %w", err)
+	}
+	ix1, err := index.BuildParallel(b1, opt.Seed, opt.N, opt.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("core: indexing bank 1: %w", err)
+	}
+	res := &Result{Stats0: ix0.Stats(), Stats1: ix1.Stats()}
+	res.Times.Index = time.Since(t0)
+
+	// Step 2: ungapped extension on the selected engine.
+	var hits []ungapped.Hit
+	switch opt.Engine {
+	case EngineCPU:
+		t1 := time.Now()
+		r, err := ungapped.Run(ix0, ix1, ungapped.Config{
+			Matrix:    opt.Matrix,
+			Threshold: opt.UngappedThreshold,
+			Workers:   opt.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: step 2: %w", err)
+		}
+		res.Times.Ungapped = time.Since(t1)
+		hits = r.Hits
+		res.Pairs = r.Pairs
+	case EngineRASC:
+		dev, err := buildDevice(&opt, ix0.SubLen())
+		if err != nil {
+			return nil, err
+		}
+		rep, err := dev.RunStep2(ix0, ix1)
+		if err != nil {
+			return nil, fmt.Errorf("core: step 2 (rasc): %w", err)
+		}
+		res.Device = rep
+		res.Times.Ungapped = time.Duration(rep.Seconds * float64(time.Second))
+		hits = rep.Hits
+		res.Pairs = rep.Pairs
+	default:
+		return nil, fmt.Errorf("core: unknown engine %v", opt.Engine)
+	}
+	res.Hits = len(hits)
+
+	// Step 3: gapped extension on the host (or, in the future-work
+	// configuration, timed as if on the second FPGA's gap operator).
+	t2 := time.Now()
+	gcfg := opt.Gapped
+	if gcfg.Matrix == nil {
+		gcfg = gapped.DefaultConfig()
+	}
+	gcfg.Workers = opt.Workers
+	as, gstats, err := gapped.RunWithStats(b0, b1, hits, gcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: step 3: %w", err)
+	}
+	res.Times.Gapped = time.Since(t2)
+	res.Alignments = as
+	res.GappedWork = gstats
+	if opt.Engine == EngineRASC && opt.RASC.OffloadGapped {
+		gop := hwsim.DefaultGapOp(gcfg.Band)
+		if opt.RASC.ClockHz != 0 {
+			gop.ClockHz = opt.RASC.ClockHz
+		}
+		rep, err := gop.EstimateStep3(gstats)
+		if err != nil {
+			return nil, fmt.Errorf("core: step 3 (gap operator): %w", err)
+		}
+		res.GapDevice = rep
+		res.Times.Gapped = time.Duration(rep.Seconds * float64(time.Second))
+	}
+	return res, nil
+}
+
+func buildDevice(opt *Options, subLen int) (*hwsim.Device, error) {
+	r := opt.RASC.withDefaults()
+	psc := hwsim.PSCConfig{
+		NumPEs:    r.NumPEs,
+		SlotSize:  r.SlotSize,
+		FIFODepth: r.FIFODepth,
+		SubLen:    subLen,
+		Threshold: opt.UngappedThreshold,
+		Matrix:    opt.Matrix,
+	}
+	cfg := hwsim.DeviceConfig{
+		PSC:          psc,
+		NumFPGAs:     r.NumFPGAs,
+		ClockHz:      r.ClockHz,
+		DMABandwidth: r.DMABandwidth,
+		DMALatency:   r.DMALatency,
+		SharedLink:   true,
+	}
+	return hwsim.NewDevice(cfg)
+}
+
+// GenomeMatch is an alignment mapped back to genome coordinates.
+type GenomeMatch struct {
+	gapped.Alignment
+	Protein  int // bank-0 sequence number (same as Alignment.Seq0)
+	Frame    translate.Frame
+	NucStart int // forward-strand nucleotide interval [NucStart, NucEnd)
+	NucEnd   int
+}
+
+// GenomeResult extends Result with genome-coordinate matches.
+type GenomeResult struct {
+	Result
+	Matches   []GenomeMatch
+	GenomeLen int
+}
+
+// CompareGenome runs the tblastn-style workflow: the genome is
+// translated into its six reading frames (step 0 of the paper's
+// workflow), each frame becomes a subject sequence, and alignments are
+// reported in both protein and genome coordinates.
+func CompareGenome(proteins *bank.Bank, genome []byte, opt Options) (*GenomeResult, error) {
+	frames := opt.code().SixFrames(genome)
+	fbank := bank.New("genome-frames")
+	for _, ft := range frames {
+		fbank.Add(ft.Frame.String(), ft.Protein)
+	}
+	res, err := Compare(proteins, fbank, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := &GenomeResult{Result: *res, GenomeLen: len(genome)}
+	for _, a := range res.Alignments {
+		frame := frames[a.Seq1].Frame
+		m := GenomeMatch{
+			Alignment: a,
+			Protein:   a.Seq0,
+			Frame:     frame,
+		}
+		// The subject span [S.Start, S.End) in frame coordinates covers
+		// codons; map both ends and order them on the forward strand.
+		first := translate.CodonStart(frame, a.S.Start, len(genome))
+		last := translate.CodonStart(frame, a.S.End-1, len(genome))
+		if frame > 0 {
+			m.NucStart, m.NucEnd = first, last+3
+		} else {
+			m.NucStart, m.NucEnd = last, first+3
+		}
+		out.Matches = append(out.Matches, m)
+	}
+	return out, nil
+}

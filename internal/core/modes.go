@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/gapped"
+	"seedblast/internal/translate"
+)
+
+// The paper's conclusion notes the PSC operator "can be directly
+// reused for implementing blastp, blastx, and tblastx": every BLAST
+// family program reduces to the same protein bank-vs-bank comparison
+// after the appropriate translations. This file provides those modes.
+//
+//	blastp  — protein bank vs protein bank: Compare itself.
+//	tblastn — protein bank vs translated genome: CompareGenome.
+//	blastx  — translated DNA queries vs protein bank: CompareDNAQueries.
+//	tblastx — translated genome vs translated genome: CompareGenomes.
+
+// DNAQueryMatch is a blastx alignment: a protein-bank subject matched
+// by a reading frame of one DNA query, with query coordinates mapped
+// back to its nucleotides.
+type DNAQueryMatch struct {
+	gapped.Alignment
+	Query    int // DNA query number
+	Frame    translate.Frame
+	NucStart int // nucleotide interval of the aligned query region
+	NucEnd   int
+	Subject  int // protein-bank sequence number (same as Alignment.Seq1)
+}
+
+// DNAQueryResult is the outcome of CompareDNAQueries.
+type DNAQueryResult struct {
+	Result
+	Matches []DNAQueryMatch
+}
+
+// CompareDNAQueries implements blastx: each DNA query is translated
+// into its six reading frames, the frame translations form bank 0, and
+// matches are mapped back to query nucleotide coordinates.
+func CompareDNAQueries(queries [][]byte, proteins *bank.Bank, opt Options) (*DNAQueryResult, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("core: no DNA queries")
+	}
+	qbank := bank.New("dna-query-frames")
+	type frameRef struct {
+		query int
+		frame translate.Frame
+		qLen  int
+	}
+	var refs []frameRef
+	for qi, dna := range queries {
+		for _, ft := range opt.code().SixFrames(dna) {
+			qbank.Add(fmt.Sprintf("q%d%s", qi, ft.Frame), ft.Protein)
+			refs = append(refs, frameRef{query: qi, frame: ft.Frame, qLen: len(dna)})
+		}
+	}
+	res, err := Compare(qbank, proteins, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := &DNAQueryResult{Result: *res}
+	for _, a := range res.Alignments {
+		ref := refs[a.Seq0]
+		m := DNAQueryMatch{
+			Alignment: a,
+			Query:     ref.query,
+			Frame:     ref.frame,
+			Subject:   a.Seq1,
+		}
+		first := translate.CodonStart(ref.frame, a.Q.Start, ref.qLen)
+		last := translate.CodonStart(ref.frame, a.Q.End-1, ref.qLen)
+		if ref.frame > 0 {
+			m.NucStart, m.NucEnd = first, last+3
+		} else {
+			m.NucStart, m.NucEnd = last, first+3
+		}
+		out.Matches = append(out.Matches, m)
+	}
+	return out, nil
+}
+
+// GenomePairMatch is a tblastx alignment: both sides are reading
+// frames, both mapped back to nucleotide coordinates.
+type GenomePairMatch struct {
+	gapped.Alignment
+	Frame0    translate.Frame
+	NucStart0 int
+	NucEnd0   int
+	Frame1    translate.Frame
+	NucStart1 int
+	NucEnd1   int
+}
+
+// GenomePairResult is the outcome of CompareGenomes.
+type GenomePairResult struct {
+	Result
+	Matches []GenomePairMatch
+}
+
+// CompareGenomes implements tblastx: both nucleotide sequences are
+// six-frame translated and compared protein-wise — the most expensive
+// BLAST mode (36 frame pairs), which is exactly why the paper's
+// bank-vs-bank restructuring applies to it unchanged.
+func CompareGenomes(genome0, genome1 []byte, opt Options) (*GenomePairResult, error) {
+	f0 := opt.code().SixFrames(genome0)
+	f1 := opt.code().SixFrames(genome1)
+	b0 := bank.New("genome0-frames")
+	b1 := bank.New("genome1-frames")
+	for _, ft := range f0 {
+		b0.Add(ft.Frame.String(), ft.Protein)
+	}
+	for _, ft := range f1 {
+		b1.Add(ft.Frame.String(), ft.Protein)
+	}
+	res, err := Compare(b0, b1, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := &GenomePairResult{Result: *res}
+	for _, a := range res.Alignments {
+		m := GenomePairMatch{
+			Alignment: a,
+			Frame0:    f0[a.Seq0].Frame,
+			Frame1:    f1[a.Seq1].Frame,
+		}
+		m.NucStart0, m.NucEnd0 = frameSpanToNuc(m.Frame0, a.Q.Start, a.Q.End, len(genome0))
+		m.NucStart1, m.NucEnd1 = frameSpanToNuc(m.Frame1, a.S.Start, a.S.End, len(genome1))
+		out.Matches = append(out.Matches, m)
+	}
+	return out, nil
+}
+
+// frameSpanToNuc maps a half-open protein span within a reading frame
+// to the forward-strand nucleotide interval it covers.
+func frameSpanToNuc(f translate.Frame, aaStart, aaEnd, genomeLen int) (int, int) {
+	first := translate.CodonStart(f, aaStart, genomeLen)
+	last := translate.CodonStart(f, aaEnd-1, genomeLen)
+	if f > 0 {
+		return first, last + 3
+	}
+	return last, first + 3
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/translate"
+)
+
+func TestCompareDNAQueriesBlastx(t *testing.T) {
+	// DNA queries that encode (mutated copies of) bank proteins must
+	// match those proteins in the right frame and interval.
+	proteins := bank.GenerateProteins(bank.ProteinConfig{N: 6, MeanLen: 120, Seed: 51})
+	rng := bank.NewRNG(52)
+	var queries [][]byte
+	wantSubject := []int{2, 4}
+	for _, idx := range wantSubject {
+		coding, err := bank.ReverseTranslate(rng, proteins.Seq(idx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Embed the coding region in random flanks; 1-base offset puts
+		// it in frame +2.
+		dna := append([]byte{0}, coding...)
+		dna = append(dna, bank.RandomProtein(rng, 0)...)
+		queries = append(queries, dna)
+	}
+	res, err := CompareDNAQueries(queries, proteins, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) < len(wantSubject) {
+		t.Fatalf("only %d matches", len(res.Matches))
+	}
+	for qi, subj := range wantSubject {
+		found := false
+		for _, m := range res.Matches {
+			if m.Query == qi && m.Subject == subj {
+				found = true
+				if m.Frame != 2 {
+					t.Errorf("query %d matched in frame %s, want +2", qi, m.Frame)
+				}
+				if m.NucStart < 0 || m.NucEnd > len(queries[qi]) || m.NucStart >= m.NucEnd {
+					t.Errorf("bad nucleotide interval [%d,%d)", m.NucStart, m.NucEnd)
+				}
+				if (m.NucEnd-m.NucStart)/3 != m.Q.Len() {
+					t.Errorf("interval/span mismatch: %d nt vs %d aa",
+						m.NucEnd-m.NucStart, m.Q.Len())
+				}
+			}
+		}
+		if !found {
+			t.Errorf("query %d did not match protein %d", qi, subj)
+		}
+	}
+}
+
+func TestCompareDNAQueriesEmpty(t *testing.T) {
+	proteins := bank.GenerateProteins(bank.ProteinConfig{N: 2, Seed: 1})
+	if _, err := CompareDNAQueries(nil, proteins, DefaultOptions()); err == nil {
+		t.Error("no queries accepted")
+	}
+}
+
+func TestCompareGenomesTblastx(t *testing.T) {
+	// Two genomes sharing a planted protein-coding region must match in
+	// the frames the region occupies.
+	proteins := bank.GenerateProteins(bank.ProteinConfig{N: 4, MeanLen: 100, Seed: 53})
+	g0, genes0, err := bank.GenerateGenome(bank.GenomeConfig{
+		Length: 20_000, Source: proteins, PlantCount: 2, Seed: 54,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, genes1, err := bank.GenerateGenome(bank.GenomeConfig{
+		Length: 25_000, Source: proteins, PlantCount: 3, Seed: 55,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompareGenomes(g0, g1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 {
+		t.Fatal("no tblastx matches despite shared planted genes")
+	}
+	// Every match pair must correspond to planted genes encoding the
+	// same protein.
+	shared := map[int]bool{}
+	for _, ga := range genes0 {
+		shared[ga.ProteinIdx] = true
+	}
+	anyShared := false
+	for _, gb := range genes1 {
+		if shared[gb.ProteinIdx] {
+			anyShared = true
+		}
+	}
+	if !anyShared {
+		t.Skip("workload has no shared protein between the genomes")
+	}
+	for _, m := range res.Matches {
+		if !m.Frame0.Valid() || !m.Frame1.Valid() {
+			t.Errorf("invalid frames %d/%d", m.Frame0, m.Frame1)
+		}
+		if m.NucStart0 < 0 || m.NucEnd0 > len(g0) || m.NucStart0 >= m.NucEnd0 {
+			t.Errorf("bad interval 0: [%d,%d)", m.NucStart0, m.NucEnd0)
+		}
+		if m.NucStart1 < 0 || m.NucEnd1 > len(g1) || m.NucStart1 >= m.NucEnd1 {
+			t.Errorf("bad interval 1: [%d,%d)", m.NucStart1, m.NucEnd1)
+		}
+		if (m.NucEnd0-m.NucStart0)/3 != m.Q.Len() || (m.NucEnd1-m.NucStart1)/3 != m.S.Len() {
+			t.Error("interval/span mismatch")
+		}
+	}
+	// The best match must link a gene region in g0 to one in g1.
+	best := res.Matches[0]
+	overlapsGene := func(start, end int, genes []bank.PlantedGene) bool {
+		for _, g := range genes {
+			lo := max(start, g.Start)
+			hi := min(end, g.Start+g.NucLen)
+			if hi-lo > g.NucLen/2 {
+				return true
+			}
+		}
+		return false
+	}
+	if !overlapsGene(best.NucStart0, best.NucEnd0, genes0) ||
+		!overlapsGene(best.NucStart1, best.NucEnd1, genes1) {
+		t.Error("best tblastx match does not link planted gene regions")
+	}
+}
+
+func TestCompareGenomeWithMitochondrialCode(t *testing.T) {
+	// A gene planted with the mitochondrial code reads back only when
+	// the pipeline translates with that code: the ATA/TGA/AGA/AGG
+	// differences break or truncate the standard-code translation.
+	rng := bank.NewRNG(81)
+	protein := bank.RandomProtein(rng, 90)
+	proteins := bank.New("q")
+	proteins.Add("p", protein)
+
+	// Reverse-translate under the mito code by brute force: pick, for
+	// each residue, a codon that the mito code maps to it.
+	var coding []byte
+	for _, aa := range protein {
+		found := false
+		for n0 := byte(0); n0 < 4 && !found; n0++ {
+			for n1 := byte(0); n1 < 4 && !found; n1++ {
+				for n2 := byte(0); n2 < 4 && !found; n2++ {
+					if translate.VertebrateMitoCode.Codon(n0, n1, n2) == aa {
+						coding = append(coding, n0, n1, n2)
+						found = true
+					}
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("no mito codon for residue %d", aa)
+		}
+	}
+	genome := append(bank.RandomProtein(bank.NewRNG(82), 0), make([]byte, 3000)...)
+	rng2 := bank.NewRNG(83)
+	for i := range genome {
+		genome[i] = byte(rng2.Intn(4))
+	}
+	copy(genome[600:], coding)
+
+	opt := DefaultOptions()
+	opt.GeneticCode = translate.VertebrateMitoCode
+	res, err := CompareGenome(proteins, genome, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range res.Matches {
+		if m.NucStart <= 600 && m.NucEnd >= 600+len(coding) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mito-coded gene not found under mito translation (matches: %d)", len(res.Matches))
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"seedblast/internal/gapped"
+	"seedblast/internal/hwsim"
+)
+
+// FutureWorkRow projects the paper's §5 proposal for one bank: the
+// second FPGA carries a gap-extension operator, the two designs run
+// concurrently, and the pipeline streams buckets through both, so the
+// wall time of steps 2+3 approaches max(step2, step3) instead of their
+// sum.
+type FutureWorkRow struct {
+	BankName   string
+	PaperSec   float64 // step1 + simulated step2 + host step3 (the paper's config)
+	DualSec    float64 // step1 + max(simulated step2, simulated step3)
+	GapOpSec   float64 // simulated gap-operator time
+	HostMode   float64 // host step 3 for reference
+	Projection float64 // PaperSec / DualSec
+}
+
+// RunFutureWork computes the dual-FPGA projection from the
+// measurements at the largest PE count.
+func RunFutureWork(ms *Measurements) ([]FutureWorkRow, error) {
+	pes := ms.PECounts[len(ms.PECounts)-1]
+	gop := hwsim.DefaultGapOp(gapped.DefaultConfig().Band)
+	var rows []FutureWorkRow
+	for _, m := range ms.Banks {
+		rep, err := gop.EstimateStep3(m.GapStats)
+		if err != nil {
+			return nil, err
+		}
+		step2 := m.Device[pes].Seconds
+		paper := m.Step1Sec + step2 + m.Step3Sec
+		dual := m.Step1Sec + maxF(step2, rep.Seconds)
+		row := FutureWorkRow{
+			BankName: m.BankName(),
+			PaperSec: paper,
+			DualSec:  dual,
+			GapOpSec: rep.Seconds,
+			HostMode: m.Step3Sec,
+		}
+		if dual > 0 {
+			row.Projection = paper / dual
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FormatFutureWork renders the projection table.
+func FormatFutureWork(rows []FutureWorkRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Future work (paper §5): gap-extension operator on the second FPGA\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s %8s\n",
+		"bank", "paper cfg", "host step3", "gap-op st3", "dual-FPGA", "gain")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12.3f %12.3f %12.3f %12.3f %8.2f\n",
+			r.BankName, r.PaperSec, r.HostMode, r.GapOpSec, r.DualSec, r.Projection)
+	}
+	fmt.Fprintf(&b, "(the paper projects 'optimizing global performances implies now to\n")
+	fmt.Fprintf(&b, " consider ... another reconfigurable operator dedicated to ... gap penalty')\n")
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"seedblast/internal/hwsim"
+	"seedblast/internal/index"
+	"seedblast/internal/matrix"
+	"seedblast/internal/ungapped"
+)
+
+// HostDispatchRow answers the paper's closing question — "when such
+// processors [4, 8 or more cores] will be linked to reconfigurable
+// resources, the question will be how to dispatch the overall
+// computation between cores and FPGA" — for one worker count: the
+// multicore host's step-2 time against the simulated accelerator's.
+type HostDispatchRow struct {
+	Workers   int
+	HostSec   float64
+	DeviceSec float64
+	Ratio     float64 // HostSec / DeviceSec (>1: FPGA wins)
+}
+
+// RunHostDispatch measures step 2 on the host at several worker counts
+// and compares against the 192-PE device.
+func RunHostDispatch(w *Workload, bankIdx int, workerCounts []int) ([]HostDispatchRow, error) {
+	if bankIdx < 0 || bankIdx >= len(w.Banks) {
+		return nil, fmt.Errorf("experiments: bank index %d out of range", bankIdx)
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	ixB, err := index.Build(w.Banks[bankIdx], w.Scale.SeedModel, w.Scale.N)
+	if err != nil {
+		return nil, err
+	}
+	ixG, err := index.Build(w.Frames, w.Scale.SeedModel, w.Scale.N)
+	if err != nil {
+		return nil, err
+	}
+
+	// Device side once: hits are worker-independent.
+	psc := hwsim.DefaultPSC(matrix.BLOSUM62, ixB.SubLen(), w.Scale.Threshold)
+	dev, err := hwsim.NewDevice(hwsim.DefaultDevice(psc))
+	if err != nil {
+		return nil, err
+	}
+	ref, err := ungapped.Run(ixB, ixG, ungapped.Config{
+		Matrix: matrix.BLOSUM62, Threshold: w.Scale.Threshold, Workers: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	devRep, err := dev.EstimateStep2(ixB, ixG, len(ref.Hits))
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []HostDispatchRow
+	for _, workers := range workerCounts {
+		t0 := time.Now()
+		if _, err := ungapped.Run(ixB, ixG, ungapped.Config{
+			Matrix: matrix.BLOSUM62, Threshold: w.Scale.Threshold, Workers: workers,
+		}); err != nil {
+			return nil, err
+		}
+		hostSec := time.Since(t0).Seconds()
+		row := HostDispatchRow{
+			Workers:   workers,
+			HostSec:   hostSec,
+			DeviceSec: devRep.Seconds,
+		}
+		if devRep.Seconds > 0 {
+			row.Ratio = hostSec / devRep.Seconds
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatHostDispatch renders the host-vs-FPGA dispatch table.
+func FormatHostDispatch(rows []HostDispatchRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Host dispatch (paper §5): multicore step 2 vs 192-PE accelerator\n")
+	fmt.Fprintf(&b, "%8s %12s %12s %10s\n", "workers", "host (s)", "device (s)", "host/dev")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %12.3f %12.3f %10.2f\n",
+			r.Workers, r.HostSec, r.DeviceSec, r.Ratio)
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+// Package experiments regenerates every table of the paper's
+// evaluation (§4, Tables 1-7) on synthetic workloads at configurable
+// scale. Absolute seconds differ from the paper (the accelerator is
+// simulated and the data synthetic); the experiments reproduce the
+// paper's shapes: step 2 dominating the software profile, speedups
+// growing with bank size and PE count, the 2-FPGA gain approaching 2×,
+// the profile shifting to step 3 on the accelerator, and
+// BLAST-equivalent sensitivity.
+package experiments
+
+import (
+	"fmt"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/seed"
+	"seedblast/internal/translate"
+)
+
+// Scale describes a workload family: the four protein banks and the
+// genome the paper's tables sweep over, at some fraction of the
+// paper's size.
+type Scale struct {
+	Name           string
+	BankSizes      []int // proteins per bank (paper: 1000/3000/10000/30000)
+	MeanProteinLen int   // paper banks average ≈335 aa
+	GenomeLen      int   // nucleotides (paper: 220·10⁶, Human chr 1)
+	PlantPerBank   int   // homologous genes planted per bank
+	PlantSubRate   float64
+	Seed           int64
+	// Index parameters. Key space scales with bank size so that the
+	// array-fill behaviour (IL0 bucket length vs PE count) matches the
+	// paper's regime at reduced scale.
+	SeedModel seed.Model
+	N         int
+	Threshold int
+}
+
+// Tiny returns a seconds-scale workload for tests and quick benches.
+func Tiny() Scale {
+	return Scale{
+		Name:           "tiny",
+		BankSizes:      []int{10, 30, 100},
+		MeanProteinLen: 120,
+		GenomeLen:      120_000,
+		PlantPerBank:   4,
+		PlantSubRate:   0.2,
+		Seed:           2009,
+		SeedModel:      reducedSeed(),
+		N:              14,
+		Threshold:      38,
+	}
+}
+
+// Small returns the default experiment scale: a 1:100 reduction of the
+// paper's workload that runs the full table suite in minutes.
+func Small() Scale {
+	return Scale{
+		Name:           "small",
+		BankSizes:      []int{10, 30, 100, 300},
+		MeanProteinLen: 330,
+		GenomeLen:      2_000_000,
+		PlantPerBank:   10,
+		PlantSubRate:   0.2,
+		Seed:           2009,
+		SeedModel:      reducedSeed(),
+		N:              14,
+		Threshold:      38,
+	}
+}
+
+// Medium returns a 1:10 reduction (minutes to tens of minutes).
+func Medium() Scale {
+	return Scale{
+		Name:           "medium",
+		BankSizes:      []int{100, 300, 1000, 3000},
+		MeanProteinLen: 330,
+		GenomeLen:      22_000_000,
+		PlantPerBank:   30,
+		PlantSubRate:   0.2,
+		Seed:           2009,
+		SeedModel:      seed.Default(),
+		N:              14,
+		Threshold:      38,
+	}
+}
+
+// Paper returns the paper's full scale. Running it is hours of compute;
+// it exists so the harness documents the original parameters.
+func Paper() Scale {
+	return Scale{
+		Name:           "paper",
+		BankSizes:      []int{1000, 3000, 10000, 30000},
+		MeanProteinLen: 335,
+		GenomeLen:      220_000_000,
+		PlantPerBank:   100,
+		PlantSubRate:   0.2,
+		Seed:           2009,
+		SeedModel:      seed.Default(),
+		N:              14,
+		Threshold:      38,
+	}
+}
+
+// reducedSeed returns a W=4 subset seed over a 10³-key space (Murphy10
+// at three positions, one don't-care position): the paper's 40000-key
+// index sees IL0 buckets of hundreds of entries at the 30K-protein
+// scale, and shrinking the key space by the same factor as the banks
+// keeps the buckets-per-PE ratio — and with it the array-fill behaviour
+// the tables depend on — in the same regime at 1:100 scale.
+func reducedSeed() seed.Model {
+	anyAA, err := seed.NewPartition("ARNDCQEGHILKMFPSTWYV")
+	if err != nil {
+		panic(err)
+	}
+	anyAA.Label = "any"
+	m, err := seed.NewSubset("murphy-reduced-1k",
+		seed.Murphy10(), seed.Murphy10(), anyAA, seed.Murphy10())
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ByName resolves a scale by name.
+func ByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny(), nil
+	case "small":
+		return Small(), nil
+	case "medium":
+		return Medium(), nil
+	case "paper":
+		return Paper(), nil
+	default:
+		return Scale{}, fmt.Errorf("experiments: unknown scale %q (tiny, small, medium, paper)", name)
+	}
+}
+
+// Workload is a generated experiment input: the protein banks, the
+// genome, and its six-frame translation bank.
+type Workload struct {
+	Scale  Scale
+	Banks  []*bank.Bank
+	Genome []byte
+	Frames *bank.Bank
+}
+
+// NewWorkload generates the banks and genome for a scale. The genome
+// contains planted mutated genes drawn from the largest bank, so every
+// bank (a prefix-nested subset would bias; banks are generated
+// independently but genes come from the largest) finds true
+// similarities proportional to its overlap.
+func NewWorkload(s Scale) (*Workload, error) {
+	if len(s.BankSizes) == 0 || s.GenomeLen <= 0 {
+		return nil, fmt.Errorf("experiments: empty scale")
+	}
+	w := &Workload{Scale: s}
+	// Banks are nested: the larger bank extends the smaller one, as the
+	// paper's NR subsets do, so bigger banks strictly add work.
+	largest := bank.GenerateProteins(bank.ProteinConfig{
+		N:       s.BankSizes[len(s.BankSizes)-1],
+		MeanLen: s.MeanProteinLen,
+		Seed:    s.Seed,
+	})
+	for _, size := range s.BankSizes {
+		b := bank.New(fmt.Sprintf("%dprot", size))
+		for i := 0; i < size; i++ {
+			b.Add(largest.ID(i), largest.Seq(i))
+		}
+		w.Banks = append(w.Banks, b)
+	}
+	genome, _, err := bank.GenerateGenome(bank.GenomeConfig{
+		Length:       s.GenomeLen,
+		Source:       w.Banks[0], // plant from the smallest so every bank hits
+		PlantCount:   s.PlantPerBank,
+		PlantSubRate: s.PlantSubRate,
+		Seed:         s.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.Genome = genome
+	frames := translate.SixFrames(genome)
+	fb := bank.New("genome-frames")
+	for _, ft := range frames {
+		fb.Add(ft.Frame.String(), ft.Protein)
+	}
+	w.Frames = fb
+	return w, nil
+}

@@ -1,0 +1,285 @@
+// Package gapped implements step 3 of the paper's algorithm: hits
+// surviving the ungapped filter are extended with a banded affine-gap
+// local alignment around the seed diagonal, scored with gapped
+// Karlin-Altschul statistics, filtered at the configured E-value
+// (the paper compares against tblastn at E ≤ 10⁻³) and de-duplicated
+// so each similarity region is reported once.
+package gapped
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"seedblast/internal/align"
+	"seedblast/internal/bank"
+	"seedblast/internal/matrix"
+	"seedblast/internal/stats"
+	"seedblast/internal/ungapped"
+)
+
+// Alignment is one reported similarity region between a bank-0 and a
+// bank-1 sequence.
+type Alignment struct {
+	Seq0, Seq1 int // sequence numbers in their banks
+	Score      int
+	BitScore   float64
+	EValue     float64
+	Q          Span // range in the bank-0 sequence
+	S          Span // range in the bank-1 sequence
+	Ops        []align.Op
+}
+
+// Span is a half-open residue range.
+type Span struct{ Start, End int }
+
+// Len returns the span length.
+func (s Span) Len() int { return s.End - s.Start }
+
+// Config parameterises the gapped stage.
+type Config struct {
+	Matrix *matrix.Matrix
+	Gaps   align.GapParams
+	Band   int // half-width of the alignment band around the seed diagonal
+	// GapTrigger is the raw score a cheap ungapped X-drop extension of
+	// the hit must reach before the banded dynamic programming runs, as
+	// in NCBI BLAST. Zero disables the pre-filter.
+	GapTrigger int
+	// XDrop is the X-drop used by the pre-filter extension.
+	XDrop     int
+	Params    stats.Params // gapped Karlin-Altschul parameters
+	MaxEValue float64
+	// Traceback records alignment operations for reporting. The
+	// traceback DP runs unbanded over the subject window, so it is
+	// slower and can find alignments that escape the band.
+	Traceback bool
+	Workers   int // 0 means GOMAXPROCS
+}
+
+// DefaultConfig returns the stage defaults: BLOSUM62, BLAST gap costs,
+// band 16, gap trigger 41 (NCBI's default, in raw BLOSUM62 units),
+// published gapped statistics and the paper's E ≤ 10⁻³.
+func DefaultConfig() Config {
+	return Config{
+		Matrix:     matrix.BLOSUM62,
+		Gaps:       align.DefaultGaps,
+		Band:       16,
+		GapTrigger: 41,
+		XDrop:      16,
+		Params:     stats.GappedBLOSUM62,
+		MaxEValue:  1e-3,
+	}
+}
+
+// Stats describes the work the gapped stage performed; the simulated
+// gap-extension operator (the paper's future-work second FPGA design)
+// derives its cycle count from these.
+type Stats struct {
+	Hits        int   // hits received from step 2
+	Contained   int   // skipped: seed inside an already-extended region
+	PreFiltered int   // dropped by the gap-trigger pre-filter
+	Extended    int   // banded DPs actually run
+	DPRows      int64 // Σ query lengths over extended DPs
+	DPCells     int64 // Σ query length × band width over extended DPs
+}
+
+// Run extends hits into alignments. b0 and b1 are the banks the hits'
+// entries refer to. Results are sorted by (Seq0, EValue, Seq1) and
+// de-duplicated per sequence pair.
+func Run(b0, b1 *bank.Bank, hits []ungapped.Hit, cfg Config) ([]Alignment, error) {
+	as, _, err := RunWithStats(b0, b1, hits, cfg)
+	return as, err
+}
+
+// RunWithStats is Run plus work statistics.
+func RunWithStats(b0, b1 *bank.Bank, hits []ungapped.Hit, cfg Config) ([]Alignment, Stats, error) {
+	if cfg.Matrix == nil {
+		return nil, Stats{}, fmt.Errorf("gapped: matrix is required")
+	}
+	if cfg.Band <= 0 {
+		return nil, Stats{}, fmt.Errorf("gapped: band must be positive, got %d", cfg.Band)
+	}
+	if cfg.MaxEValue <= 0 {
+		return nil, Stats{}, fmt.Errorf("gapped: MaxEValue must be positive, got %g", cfg.MaxEValue)
+	}
+
+	// Group hits by sequence pair, preserving deterministic order.
+	type pairKey struct{ s0, s1 uint32 }
+	groups := make(map[pairKey][]ungapped.Hit)
+	var order []pairKey
+	for _, h := range hits {
+		k := pairKey{h.E0.Seq, h.E1.Seq}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], h)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(order) {
+		workers = max(len(order), 1)
+	}
+	dbLen := b1.TotalResidues()
+
+	type groupResult struct {
+		as []Alignment
+		st Stats
+	}
+	results := make([]groupResult, len(order))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			al := align.NewAligner(cfg.Matrix, cfg.Gaps)
+			for gi := range next {
+				k := order[gi]
+				results[gi].as, results[gi].st = extendGroup(al,
+					b0.Seq(int(k.s0)), b1.Seq(int(k.s1)),
+					int(k.s0), int(k.s1), groups[k], &cfg, dbLen)
+			}
+		}()
+	}
+	for gi := range order {
+		next <- gi
+	}
+	close(next)
+	wg.Wait()
+
+	var out []Alignment
+	stats := Stats{Hits: len(hits)}
+	for _, r := range results {
+		out = append(out, r.as...)
+		stats.Contained += r.st.Contained
+		stats.PreFiltered += r.st.PreFiltered
+		stats.Extended += r.st.Extended
+		stats.DPRows += r.st.DPRows
+		stats.DPCells += r.st.DPCells
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seq0 != out[j].Seq0 {
+			return out[i].Seq0 < out[j].Seq0
+		}
+		if out[i].EValue != out[j].EValue {
+			return out[i].EValue < out[j].EValue
+		}
+		return out[i].Seq1 < out[j].Seq1
+	})
+	return out, stats, nil
+}
+
+// extendGroup processes all hits of one (seq0, seq1) pair: hits whose
+// seed lands inside an alignment already found on a nearby diagonal are
+// skipped (BLAST's containment rule), others are extended with a banded
+// local alignment around their diagonal.
+func extendGroup(al *align.Aligner, q, s []byte, seq0, seq1 int,
+	hits []ungapped.Hit, cfg *Config, dbLen int) ([]Alignment, Stats) {
+	var found []Alignment
+	var st Stats
+	for _, h := range hits {
+		qPos, sPos := int(h.E0.Off), int(h.E1.Off)
+		if contained(found, qPos, sPos, cfg.Band) {
+			st.Contained++
+			continue
+		}
+		// Cheap pre-filter: an ungapped X-drop extension anchored at the
+		// seed's first residue must reach the gap trigger before the
+		// banded DP is paid for (NCBI's two-stage extension). Chance
+		// hits from the ungapped window filter rarely extend.
+		if cfg.GapTrigger > 0 {
+			ext := align.ExtendUngapped(q, s, qPos, sPos, 1, cfg.XDrop, cfg.Matrix)
+			if ext.Score < cfg.GapTrigger {
+				st.PreFiltered++
+				continue
+			}
+		}
+		st.Extended++
+		st.DPRows += int64(len(q))
+		st.DPCells += int64(len(q)) * int64(2*cfg.Band+1)
+		loc, ops := extendOne(al, q, s, qPos, sPos, cfg)
+		if loc.Score <= 0 {
+			continue
+		}
+		ev := cfg.Params.EValue(loc.Score, len(q), dbLen)
+		if ev > cfg.MaxEValue {
+			continue
+		}
+		found = append(found, Alignment{
+			Seq0:     seq0,
+			Seq1:     seq1,
+			Score:    loc.Score,
+			BitScore: cfg.Params.BitScore(loc.Score),
+			EValue:   ev,
+			Q:        Span{loc.AStart, loc.AEnd},
+			S:        Span{loc.BStart, loc.BEnd},
+			Ops:      ops,
+		})
+	}
+	return dedup(found), st
+}
+
+// extendOne aligns the full query against a subject window around the
+// hit's diagonal and maps coordinates back to the subject.
+func extendOne(al *align.Aligner, q, s []byte, qPos, sPos int, cfg *Config) (align.Local, []align.Op) {
+	slack := cfg.Band + 8
+	winStart := max(0, sPos-qPos-slack)
+	winEnd := min(len(s), sPos+(len(q)-qPos)+slack)
+	window := s[winStart:winEnd]
+	diag := (sPos - winStart) - qPos
+
+	var loc align.Local
+	var ops []align.Op
+	if cfg.Traceback {
+		loc, ops = al.Traceback(q, window)
+	} else {
+		loc = al.LocalBanded(q, window, diag, cfg.Band)
+	}
+	loc.BStart += winStart
+	loc.BEnd += winStart
+	return loc, ops
+}
+
+// contained reports whether the seed (qPos, sPos) lies inside an
+// already-reported alignment on a nearby diagonal.
+func contained(found []Alignment, qPos, sPos, band int) bool {
+	for i := range found {
+		a := &found[i]
+		if qPos >= a.Q.Start && qPos < a.Q.End &&
+			sPos >= a.S.Start && sPos < a.S.End {
+			d := (sPos - qPos) - (a.S.Start - a.Q.Start)
+			if d >= -band && d <= band {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dedup removes alignments whose query and subject ranges are both
+// contained in a higher-scoring alignment of the same pair.
+func dedup(as []Alignment) []Alignment {
+	if len(as) <= 1 {
+		return as
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Score > as[j].Score })
+	var out []Alignment
+	for _, a := range as {
+		keep := true
+		for _, b := range out {
+			if a.Q.Start >= b.Q.Start && a.Q.End <= b.Q.End &&
+				a.S.Start >= b.S.Start && a.S.End <= b.S.End {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package gapped
+
+import (
+	"testing"
+
+	"seedblast/internal/alphabet"
+	"seedblast/internal/bank"
+	"seedblast/internal/index"
+	"seedblast/internal/matrix"
+	"seedblast/internal/seed"
+	"seedblast/internal/ungapped"
+)
+
+// runPipelineUpTo2 indexes two banks and runs step 2, returning
+// everything step 3 needs.
+func runPipelineUpTo2(t *testing.T, b0, b1 *bank.Bank, threshold int) []ungapped.Hit {
+	t.Helper()
+	model := seed.Default()
+	ix0, err := index.Build(b0, model, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix1, err := index.Build(b1, model, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ungapped.Run(ix0, ix1, ungapped.Config{Matrix: matrix.BLOSUM62, Threshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Hits
+}
+
+func homologPair(t *testing.T) (*bank.Bank, *bank.Bank) {
+	t.Helper()
+	rng := bank.NewRNG(7)
+	ancestor := bank.RandomProtein(rng, 180)
+	b0 := bank.New("q")
+	b0.Add("query", ancestor)
+	b0.Add("noise", bank.RandomProtein(rng, 180))
+	b1 := bank.New("s")
+	b1.Add("subject", bank.MutateProtein(rng, ancestor, 0.2))
+	b1.Add("decoy", bank.RandomProtein(rng, 180))
+	return b0, b1
+}
+
+func TestRunFindsHomolog(t *testing.T) {
+	b0, b1 := homologPair(t)
+	hits := runPipelineUpTo2(t, b0, b1, 25)
+	if len(hits) == 0 {
+		t.Fatal("step 2 produced no hits for a 80%-identical pair")
+	}
+	cfg := DefaultConfig()
+	as, err := Run(b0, b1, hits, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) == 0 {
+		t.Fatal("no gapped alignments")
+	}
+	top := as[0]
+	if top.Seq0 != 0 || top.Seq1 != 0 {
+		t.Errorf("top alignment is %d vs %d, want the homolog pair 0/0", top.Seq0, top.Seq1)
+	}
+	if top.EValue > 1e-3 {
+		t.Errorf("homolog E-value %g too weak", top.EValue)
+	}
+	if top.Q.Len() < 100 {
+		t.Errorf("alignment covers only %d residues", top.Q.Len())
+	}
+}
+
+func TestRunRespectsEValueCutoff(t *testing.T) {
+	b0, b1 := homologPair(t)
+	hits := runPipelineUpTo2(t, b0, b1, 25)
+	cfg := DefaultConfig()
+	cfg.MaxEValue = 1e-300 // impossible
+	as, err := Run(b0, b1, hits, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 0 {
+		t.Errorf("%d alignments passed an impossible cutoff", len(as))
+	}
+}
+
+func TestRunDedupsPerPair(t *testing.T) {
+	// A long shared region yields many seed hits; the pair must still be
+	// reported a bounded number of times (not once per seed).
+	b0, b1 := homologPair(t)
+	hits := runPipelineUpTo2(t, b0, b1, 25)
+	if len(hits) < 3 {
+		t.Skip("not enough hits to test dedup")
+	}
+	as, err := Run(b0, b1, hits, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, a := range as {
+		if a.Seq0 == 0 && a.Seq1 == 0 {
+			count++
+		}
+	}
+	if count > 2 {
+		t.Errorf("homolog pair reported %d times (hits: %d)", count, len(hits))
+	}
+}
+
+func TestRunTracebackOps(t *testing.T) {
+	b0, b1 := homologPair(t)
+	hits := runPipelineUpTo2(t, b0, b1, 25)
+	cfg := DefaultConfig()
+	cfg.Traceback = true
+	as, err := Run(b0, b1, hits, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) == 0 {
+		t.Fatal("no alignments")
+	}
+	a := as[0]
+	if len(a.Ops) == 0 {
+		t.Fatal("traceback requested but no ops")
+	}
+	// Ops must consume exactly the reported spans.
+	var qc, sc int
+	for _, op := range a.Ops {
+		switch op.Kind {
+		case 'M':
+			qc += op.Len
+			sc += op.Len
+		case 'I':
+			sc += op.Len
+		case 'D':
+			qc += op.Len
+		}
+	}
+	if qc != a.Q.Len() || sc != a.S.Len() {
+		t.Errorf("ops consume (%d,%d), spans are (%d,%d)", qc, sc, a.Q.Len(), a.S.Len())
+	}
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	b0, b1 := homologPair(t)
+	hits := runPipelineUpTo2(t, b0, b1, 22)
+	var ref []Alignment
+	for _, workers := range []int{1, 2, 5} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		as, err := Run(b0, b1, hits, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = as
+			continue
+		}
+		if len(as) != len(ref) {
+			t.Fatalf("workers=%d: %d alignments, want %d", workers, len(as), len(ref))
+		}
+		for i := range as {
+			if as[i].Score != ref[i].Score || as[i].Seq0 != ref[i].Seq0 ||
+				as[i].Seq1 != ref[i].Seq1 || as[i].Q != ref[i].Q || as[i].S != ref[i].S {
+				t.Fatalf("workers=%d: alignment %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	b := bank.New("b")
+	b.Add("s", alphabet.MustEncodeProtein("ARND"))
+	cfg := DefaultConfig()
+	cfg.Matrix = nil
+	if _, err := Run(b, b, nil, cfg); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Band = 0
+	if _, err := Run(b, b, nil, cfg); err == nil {
+		t.Error("zero band accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.MaxEValue = 0
+	if _, err := Run(b, b, nil, cfg); err == nil {
+		t.Error("zero cutoff accepted")
+	}
+}
+
+func TestRunEmptyHits(t *testing.T) {
+	b := bank.New("b")
+	b.Add("s", alphabet.MustEncodeProtein("ARND"))
+	as, err := Run(b, b, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 0 {
+		t.Error("alignments from no hits")
+	}
+}
+
+func TestSpanLen(t *testing.T) {
+	if (Span{3, 10}).Len() != 7 {
+		t.Error("Span.Len wrong")
+	}
+}
+
+func TestRandomBanksFewFalsePositives(t *testing.T) {
+	// Unrelated random banks at the default cutoff: chance alignments at
+	// E ≤ 10⁻³ should essentially never appear at this scale.
+	rng := bank.NewRNG(1234)
+	b0 := bank.New("r0")
+	b1 := bank.New("r1")
+	for i := 0; i < 5; i++ {
+		b0.Add(string(rune('a'+i)), bank.RandomProtein(rng, 200))
+		b1.Add(string(rune('A'+i)), bank.RandomProtein(rng, 200))
+	}
+	hits := runPipelineUpTo2(t, b0, b1, 25)
+	as, err := Run(b0, b1, hits, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) > 1 {
+		t.Errorf("%d chance alignments passed E ≤ 1e-3", len(as))
+	}
+}
+
+func TestDedupRemovesContainedAlignments(t *testing.T) {
+	as := []Alignment{
+		{Seq0: 0, Seq1: 0, Score: 100, Q: Span{0, 100}, S: Span{0, 100}},
+		{Seq0: 0, Seq1: 0, Score: 40, Q: Span{10, 50}, S: Span{10, 50}},     // contained
+		{Seq0: 0, Seq1: 0, Score: 60, Q: Span{150, 220}, S: Span{150, 220}}, // disjoint
+	}
+	out := dedup(as)
+	if len(out) != 2 {
+		t.Fatalf("dedup kept %d alignments, want 2", len(out))
+	}
+	if out[0].Score != 100 || out[1].Score != 60 {
+		t.Errorf("wrong survivors: %+v", out)
+	}
+}
+
+func TestDedupKeepsPartialOverlaps(t *testing.T) {
+	as := []Alignment{
+		{Score: 100, Q: Span{0, 100}, S: Span{0, 100}},
+		{Score: 80, Q: Span{50, 150}, S: Span{50, 150}}, // overlaps but not contained
+	}
+	if out := dedup(as); len(out) != 2 {
+		t.Fatalf("partial overlap wrongly removed: %d", len(out))
+	}
+}
+
+func TestDedupSingleton(t *testing.T) {
+	as := []Alignment{{Score: 10}}
+	if len(dedup(as)) != 1 || len(dedup(nil)) != 0 {
+		t.Error("trivial dedup cases wrong")
+	}
+}
+
+func TestGapTriggerDisabledExtendsEverything(t *testing.T) {
+	b0, b1 := homologPair(t)
+	hits := runPipelineUpTo2(t, b0, b1, 25)
+	on := DefaultConfig()
+	off := DefaultConfig()
+	off.GapTrigger = 0
+	asOn, stOn, err := RunWithStats(b0, b1, hits, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asOff, stOff, err := RunWithStats(b0, b1, hits, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stOff.PreFiltered != 0 {
+		t.Error("disabled trigger still pre-filtered")
+	}
+	if stOff.Extended < stOn.Extended {
+		t.Error("disabled trigger should extend at least as many hits")
+	}
+	// The homolog must be found either way.
+	if len(asOn) == 0 || len(asOff) == 0 {
+		t.Error("homolog lost")
+	}
+	if asOn[0].Score != asOff[0].Score {
+		t.Errorf("top score differs with/without trigger: %d vs %d",
+			asOn[0].Score, asOff[0].Score)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	b0, b1 := homologPair(t)
+	hits := runPipelineUpTo2(t, b0, b1, 25)
+	_, st, err := RunWithStats(b0, b1, hits, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != len(hits) {
+		t.Errorf("Hits = %d, want %d", st.Hits, len(hits))
+	}
+	if st.Extended+st.PreFiltered+st.Contained > st.Hits {
+		t.Errorf("categories exceed hits: %+v", st)
+	}
+	if st.Extended > 0 && st.DPCells <= st.DPRows {
+		t.Errorf("DP volume inconsistent: %+v", st)
+	}
+}

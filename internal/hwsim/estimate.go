@@ -1,0 +1,90 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"seedblast/internal/index"
+)
+
+// EstimateStep2 computes the timing side of RunStep2 — cycles, DMA
+// traffic and the derived simulated seconds — without scoring any
+// pairs. The functional results of step 2 do not depend on the PE
+// count, so experiments run the scoring once (on the CPU engine or one
+// device configuration) and sweep array sizes with this estimator;
+// tests pin it to RunStep2's accounting.
+//
+// records is the number of result records crossing the host link,
+// taken from a functional run at the same threshold.
+func (d *Device) EstimateStep2(ix0, ix1 *index.Index, records int) (*Step2Report, error) {
+	cfg := &d.cfg
+	if ix0.SubLen() != cfg.PSC.SubLen || ix1.SubLen() != cfg.PSC.SubLen {
+		return nil, fmt.Errorf("hwsim: index SubLen %d/%d does not match PSC SubLen %d",
+			ix0.SubLen(), ix1.SubLen(), cfg.PSC.SubLen)
+	}
+	if ix0.Model().KeySpace() != ix1.Model().KeySpace() {
+		return nil, fmt.Errorf("hwsim: indexes built with different seed models")
+	}
+	if records < 0 {
+		return nil, fmt.Errorf("hwsim: negative record count %d", records)
+	}
+
+	space := ix0.Model().KeySpace()
+	ranges := splitByWork(ix0, ix1, space, cfg.NumFPGAs)
+	rep := &Step2Report{Records: records}
+	var slowestCycles uint64
+	subLen := cfg.PSC.SubLen
+	for _, rg := range ranges {
+		var cycles, bytesIn, xfers uint64
+		var pairs int64
+		for k := rg[0]; k < rg[1]; k++ {
+			k0 := ix0.BucketLen(k)
+			if k0 == 0 {
+				continue
+			}
+			k1 := ix1.BucketLen(k)
+			if k1 == 0 {
+				continue
+			}
+			pairs += int64(k0) * int64(k1)
+			il1Bytes := uint64(k1 * subLen)
+			staged := cfg.SRAMBytes > 0 && il1Bytes <= uint64(cfg.SRAMBytes)
+			for base := 0; base < k0; base += cfg.PSC.NumPEs {
+				n := min(cfg.PSC.NumPEs, k0-base)
+				cycles += cfg.PSC.PassCycles(n, k1)
+				bytesIn += uint64(n * subLen)
+				xfers++
+				if base == 0 || !staged {
+					bytesIn += il1Bytes
+					xfers++
+				}
+			}
+		}
+		rep.Pairs += pairs
+		rep.CyclesPerFPGA = append(rep.CyclesPerFPGA, cycles)
+		rep.BytesToDevice += bytesIn
+		rep.Transfers += xfers
+		if cycles > slowestCycles {
+			slowestCycles = cycles
+		}
+	}
+	rep.BytesFromDev = uint64(records) * recordBytes
+
+	rep.ComputeSeconds = float64(slowestCycles) / cfg.ClockHz
+	bandwidth := cfg.DMABandwidth
+	if cfg.SharedLink && len(ranges) > 1 {
+		bandwidth /= float64(len(ranges))
+	}
+	perFPGABytes := (rep.BytesToDevice + rep.BytesFromDev) / uint64(len(ranges))
+	perFPGAXfers := rep.Transfers / uint64(len(ranges))
+	rep.DMASeconds = dmaCost(perFPGABytes, perFPGAXfers, bandwidth, cfg.DMALatency)
+	rep.Seconds = maxF(rep.ComputeSeconds, rep.DMASeconds) + cfg.DMALatency
+	if slowestCycles > 0 {
+		useful := float64(rep.Pairs) * float64(subLen)
+		var provisioned float64
+		for _, c := range rep.CyclesPerFPGA {
+			provisioned += float64(c) * float64(cfg.PSC.NumPEs)
+		}
+		rep.Utilization = useful / provisioned
+	}
+	return rep, nil
+}

@@ -1,0 +1,64 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"seedblast/internal/gapped"
+)
+
+// GapOpConfig describes the gap-extension operator the paper's
+// conclusion proposes as future work: "another reconfigurable operator
+// dedicated to the computation of similarities including gap penalty",
+// running on the RASC-100's second FPGA concurrently with the PSC
+// operator. The model is a banded systolic aligner: an anti-diagonal
+// wavefront of 2·Band+1 cells advances one query row per cycle, so one
+// banded extension of an L-residue query costs L + 2·Band + Fill
+// cycles, plus the query-load stream.
+type GapOpConfig struct {
+	Band    int     // band half-width (matches the gapped stage's Band)
+	ClockHz float64 // operator clock
+	Fill    int     // pipeline fill/drain cycles per task
+}
+
+// DefaultGapOp returns a gap operator matched to the gapped-stage
+// defaults at the RASC-100 clock.
+func DefaultGapOp(band int) GapOpConfig {
+	return GapOpConfig{Band: band, ClockHz: 100e6, Fill: 16}
+}
+
+// Validate checks invariants.
+func (c *GapOpConfig) Validate() error {
+	switch {
+	case c.Band <= 0:
+		return fmt.Errorf("hwsim: gap operator band must be positive")
+	case c.ClockHz <= 0:
+		return fmt.Errorf("hwsim: gap operator clock must be positive")
+	case c.Fill < 0:
+		return fmt.Errorf("hwsim: gap operator fill must be non-negative")
+	}
+	return nil
+}
+
+// GapOpReport is the simulated timing of running the gapped stage's
+// extensions on the gap operator.
+type GapOpReport struct {
+	Tasks   int
+	Cycles  uint64
+	Seconds float64
+}
+
+// EstimateStep3 models running the recorded gapped-stage work on the
+// gap operator: each extended DP streams its query once (DPRows cycles
+// across all tasks) and sweeps the band wavefront (2·Band + Fill extra
+// cycles per task).
+func (c *GapOpConfig) EstimateStep3(st gapped.Stats) (*GapOpReport, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	cycles := uint64(st.DPRows) + uint64(st.Extended)*uint64(2*c.Band+c.Fill)
+	return &GapOpReport{
+		Tasks:   st.Extended,
+		Cycles:  cycles,
+		Seconds: float64(cycles) / c.ClockHz,
+	}, nil
+}

@@ -1,0 +1,58 @@
+package hwsim
+
+import (
+	"testing"
+
+	"seedblast/internal/gapped"
+)
+
+func TestGapOpEstimate(t *testing.T) {
+	cfg := DefaultGapOp(16)
+	st := gapped.Stats{Extended: 10, DPRows: 3300}
+	rep, err := cfg.EstimateStep3(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCycles := uint64(3300) + 10*uint64(2*16+16)
+	if rep.Cycles != wantCycles {
+		t.Errorf("cycles = %d, want %d", rep.Cycles, wantCycles)
+	}
+	if rep.Seconds != float64(wantCycles)/cfg.ClockHz {
+		t.Error("seconds inconsistent with cycles")
+	}
+	if rep.Tasks != 10 {
+		t.Errorf("tasks = %d", rep.Tasks)
+	}
+}
+
+func TestGapOpZeroWork(t *testing.T) {
+	cfg := DefaultGapOp(16)
+	rep, err := cfg.EstimateStep3(gapped.Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != 0 || rep.Seconds != 0 {
+		t.Errorf("zero work should cost nothing: %+v", rep)
+	}
+}
+
+func TestGapOpValidate(t *testing.T) {
+	for _, bad := range []GapOpConfig{
+		{Band: 0, ClockHz: 1e8},
+		{Band: 16, ClockHz: 0},
+		{Band: 16, ClockHz: 1e8, Fill: -1},
+	} {
+		if _, err := bad.EstimateStep3(gapped.Stats{}); err == nil {
+			t.Errorf("invalid config accepted: %+v", bad)
+		}
+	}
+}
+
+func TestGapOpScalesWithWork(t *testing.T) {
+	cfg := DefaultGapOp(16)
+	small, _ := cfg.EstimateStep3(gapped.Stats{Extended: 5, DPRows: 1000})
+	large, _ := cfg.EstimateStep3(gapped.Stats{Extended: 50, DPRows: 10000})
+	if large.Seconds <= small.Seconds {
+		t.Error("more work should take longer")
+	}
+}

@@ -1,0 +1,42 @@
+package hwsim
+
+// Closed-form cycle accounting for the PSC operator, validated against
+// the micro-engine in tests. One "pass" loads up to NumPEs IL0
+// sub-sequences and streams K1 IL1 sub-sequences past them.
+
+// LoadCycles returns the cycles to load n IL0 sub-sequences: the IL0
+// pipeline carries one residue per cycle, so n·SubLen residues plus the
+// pipeline latency to the last PE.
+func (c *PSCConfig) LoadCycles(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return uint64(n*c.SubLen + c.peDelay(n-1))
+}
+
+// StreamCycles returns the cycles for n loaded PEs to score a stream of
+// k IL1 sub-sequences: the stream length plus the latency for the last
+// residue to reach the last PE. The cascade drain overlaps the stream
+// in the sparse-results regime; tests bound the residual against the
+// micro-engine by NumSlots + records-in-flight.
+func (c *PSCConfig) StreamCycles(n, k int) uint64 {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	return uint64(k*c.SubLen + c.peDelay(n-1))
+}
+
+// PassCycles returns load + stream cycles for one pass.
+func (c *PSCConfig) PassCycles(nLoaded, nStream int) uint64 {
+	return c.LoadCycles(nLoaded) + c.StreamCycles(nLoaded, nStream)
+}
+
+// recordBytes is the host-visible size of one result record: PE id,
+// IL1 id and score packed as three 32-bit words.
+const recordBytes = 12
+
+// dmaCost models one direction of host/FPGA traffic: fixed per-transfer
+// latency plus bytes over the link. bandwidth is bytes/second.
+func dmaCost(bytes, transfers uint64, bandwidth, latency float64) float64 {
+	return float64(transfers)*latency + float64(bytes)/bandwidth
+}

@@ -1,0 +1,109 @@
+package hwsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seedblast/internal/align"
+	"seedblast/internal/bank"
+	"seedblast/internal/matrix"
+)
+
+// TestOperatorPropertyRandomConfigs drives the micro-engine with
+// randomized array geometry and batch sizes, checking that every
+// (PE, IL1) pair is scored exactly once with the software score,
+// regardless of slot structure or FIFO depth.
+func TestOperatorPropertyRandomConfigs(t *testing.T) {
+	f := func(pesRaw, slotRaw, fifoRaw, n0Raw, n1Raw uint8, seed int16) bool {
+		pes := int(pesRaw%24) + 1
+		slot := int(slotRaw%8) + 1
+		fifoDepth := int(fifoRaw%8) + 1
+		subLen := 12
+		n0 := int(n0Raw%uint8(pes)) + 1
+		n1 := int(n1Raw%12) + 1
+
+		cfg := PSCConfig{
+			NumPEs: pes, SlotSize: slot, FIFODepth: fifoDepth,
+			SubLen: subLen, Threshold: 1, Matrix: matrix.BLOSUM62,
+		}
+		op, err := NewOperator(cfg)
+		if err != nil {
+			return false
+		}
+		rng := bank.NewRNG(int64(seed))
+		il0 := make([][]byte, n0)
+		for i := range il0 {
+			il0[i] = bank.RandomProtein(rng, subLen)
+		}
+		var il1 []byte
+		il1Subs := make([][]byte, n1)
+		for j := range il1Subs {
+			il1Subs[j] = bank.RandomProtein(rng, subLen)
+			il1 = append(il1, il1Subs[j]...)
+		}
+		if err := op.LoadIL0(il0); err != nil {
+			return false
+		}
+		recs, err := op.StreamIL1(il1, n1)
+		if err != nil {
+			return false
+		}
+		seen := map[[2]int]int{}
+		for _, r := range recs {
+			if _, dup := seen[[2]int{r.PE, r.IL1}]; dup {
+				return false // duplicate emission
+			}
+			seen[[2]int{r.PE, r.IL1}] = r.Score
+		}
+		for i := 0; i < n0; i++ {
+			for j := 0; j < n1; j++ {
+				want := align.WindowScore(il0[i], il1Subs[j], matrix.BLOSUM62)
+				got, ok := seen[[2]int{i, j}]
+				if want >= 1 {
+					if !ok || got != want {
+						return false
+					}
+					delete(seen, [2]int{i, j})
+				}
+			}
+		}
+		return len(seen) == 0 // nothing extra emitted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestModelCyclesMonotone checks the closed-form cycle model's basic
+// monotonicity: more data can never cost fewer cycles.
+func TestModelCyclesMonotone(t *testing.T) {
+	cfg := testPSC(16, 20)
+	f := func(aRaw, bRaw uint8) bool {
+		a := int(aRaw%16) + 1
+		b := int(bRaw%64) + 1
+		if cfg.PassCycles(a, b) > cfg.PassCycles(a, b+1) {
+			return false
+		}
+		if a < 16 && cfg.PassCycles(a, b) > cfg.PassCycles(a+1, b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLoadCyclesZeroAndOne pins the load model's edge cases.
+func TestLoadCyclesZeroAndOne(t *testing.T) {
+	cfg := testPSC(8, 20)
+	if cfg.LoadCycles(0) != 0 {
+		t.Error("loading nothing should cost nothing")
+	}
+	if cfg.LoadCycles(1) != uint64(cfg.SubLen) {
+		t.Errorf("single load = %d, want SubLen", cfg.LoadCycles(1))
+	}
+	if cfg.StreamCycles(0, 5) != 0 || cfg.StreamCycles(5, 0) != 0 {
+		t.Error("empty stream should cost nothing")
+	}
+}

@@ -1,0 +1,268 @@
+package hwsim
+
+import (
+	"fmt"
+)
+
+// Record is one result produced by the PSC operator: PE number (which
+// identifies the IL0 sub-sequence of the current batch), the IL1
+// sub-sequence number within the stream, and the ungapped score. The
+// output controller writes these to the result port.
+type Record struct {
+	PE    int
+	IL1   int
+	Score int
+}
+
+// pe is one processing element (Figure 2): a shift register holding an
+// IL0 sub-sequence with a feedback loop, a substitution ROM, an adder
+// with zero clamp and a running maximum.
+type pe struct {
+	reg    []byte // IL0 sub-sequence
+	loaded bool
+	pos    int   // next residue of the current comparison
+	score  int32 // running (clamped) sum
+	best   int32 // running maximum
+	il1    int   // index of the IL1 sub-sequence being scored
+}
+
+// consume feeds one IL1 residue into the PE; reports whether the PE
+// finished a sub-sequence this cycle (finish score in best).
+func (p *pe) consume(c byte, table []int8, subLen int) bool {
+	p.score += int32(table[int(p.reg[p.pos])*24+int(c)])
+	if p.score < 0 {
+		p.score = 0 // zero clamp: best-segment semantics
+	}
+	if p.score > p.best {
+		p.best = p.score
+	}
+	p.pos++
+	if p.pos == subLen {
+		return true
+	}
+	return false
+}
+
+func (p *pe) reset(il1Next int) {
+	p.pos = 0
+	p.score = 0
+	p.best = 0
+	p.il1 = il1Next
+}
+
+// fifo is a bounded ring buffer standing in for one slot's result FIFO.
+type fifo struct {
+	buf  []Record
+	head int
+	n    int
+}
+
+func newFIFO(depth int) *fifo { return &fifo{buf: make([]Record, depth)} }
+
+func (f *fifo) full() bool  { return f.n == len(f.buf) }
+func (f *fifo) empty() bool { return f.n == 0 }
+
+func (f *fifo) push(r Record) {
+	f.buf[(f.head+f.n)%len(f.buf)] = r
+	f.n++
+}
+
+func (f *fifo) pop() Record {
+	r := f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return r
+}
+
+// Operator is the cycle-accurate PSC operator micro-engine: input
+// controllers, the slotted PE pipeline with register barriers, per-slot
+// result management feeding cascaded FIFOs, and the output controller
+// (Figure 1). The master controller's phases are the LoadIL0 /
+// StreamIL1 calls.
+type Operator struct {
+	cfg    PSCConfig
+	pes    []pe
+	fifos  []*fifo // one per slot, cascading toward the output port
+	loaded int
+
+	cycles uint64 // total cycles across all phases
+	stalls uint64 // cycles lost to result back-pressure
+
+	// Trace, when non-nil, receives one line per micro-architectural
+	// event (PE finish, FIFO push, output pop, stall) with the cycle it
+	// occurred in. Used by cmd/psctrace; nil in normal operation.
+	Trace func(cycle uint64, event string)
+}
+
+func (op *Operator) trace(format string, args ...any) {
+	if op.Trace != nil {
+		op.Trace(op.cycles, fmt.Sprintf(format, args...))
+	}
+}
+
+// NewOperator builds a PSC operator micro-engine.
+func NewOperator(cfg PSCConfig) (*Operator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	op := &Operator{
+		cfg: cfg,
+		pes: make([]pe, cfg.NumPEs),
+	}
+	for i := range op.pes {
+		op.pes[i].reg = make([]byte, cfg.SubLen)
+	}
+	for s := 0; s < cfg.NumSlots(); s++ {
+		op.fifos = append(op.fifos, newFIFO(cfg.FIFODepth))
+	}
+	return op, nil
+}
+
+// Cycles returns the total simulated cycles so far.
+func (op *Operator) Cycles() uint64 { return op.cycles }
+
+// StallCycles returns cycles lost to FIFO back-pressure.
+func (op *Operator) StallCycles() uint64 { return op.stalls }
+
+// LoadIL0 loads up to NumPEs IL0 sub-sequences into the PE shift
+// registers (initialisation phase of §3.2). Loading streams one
+// residue per cycle through the IL0 pipeline, so it costs
+// n·SubLen + peDelay(n-1) cycles; register contents are set directly
+// since the load path has no data-dependent behaviour.
+func (op *Operator) LoadIL0(subs [][]byte) error {
+	if len(subs) == 0 || len(subs) > op.cfg.NumPEs {
+		return fmt.Errorf("hwsim: LoadIL0 with %d sub-sequences (array size %d)",
+			len(subs), op.cfg.NumPEs)
+	}
+	for i, s := range subs {
+		if len(s) != op.cfg.SubLen {
+			return fmt.Errorf("hwsim: IL0 sub-sequence %d has length %d, want %d",
+				i, len(s), op.cfg.SubLen)
+		}
+		copy(op.pes[i].reg, s)
+		op.pes[i].loaded = true
+		op.pes[i].reset(0)
+	}
+	for i := len(subs); i < op.cfg.NumPEs; i++ {
+		op.pes[i].loaded = false
+	}
+	op.loaded = len(subs)
+	op.cycles += uint64(len(subs)*op.cfg.SubLen + op.cfg.peDelay(len(subs)-1))
+	return nil
+}
+
+// StreamIL1 streams count IL1 sub-sequences (concatenated in il1,
+// count·SubLen bytes) through the pipeline and returns the result
+// records in output-port order. Each PE scores every IL1 sub-sequence;
+// scores meeting the threshold enter the slot FIFO and drain through
+// the cascade at one record per cycle. When a slot FIFO is full at a
+// push, the master controller freezes the pipeline until the cascade
+// has drained (counted in StallCycles).
+func (op *Operator) StreamIL1(il1 []byte, count int) ([]Record, error) {
+	L := op.cfg.SubLen
+	if len(il1) != count*L {
+		return nil, fmt.Errorf("hwsim: IL1 stream length %d, want %d·%d", len(il1), count, L)
+	}
+	if op.loaded == 0 {
+		return nil, fmt.Errorf("hwsim: StreamIL1 before LoadIL0")
+	}
+	table := op.cfg.Matrix.Table()
+	for i := 0; i < op.loaded; i++ {
+		op.pes[i].reset(0)
+	}
+	lastDelay := op.cfg.peDelay(op.loaded - 1)
+	streamLen := len(il1)
+	var out []Record
+
+	// advance counts pipeline steps actually taken: during a stall the
+	// in-flight residues freeze with the array, so consumption indices
+	// are functions of advance, not of wall cycles.
+	advance := 0
+	// Safety bound: a correct run needs at most one cycle per pipeline
+	// step plus one per record through the cascade.
+	bound := uint64(streamLen+lastDelay+16) +
+		uint64(op.loaded)*uint64(count+1) +
+		uint64(len(op.fifos)*op.cfg.FIFODepth)
+	for start := op.cycles; ; {
+		if op.cycles-start > 4*bound+1024 {
+			return nil, fmt.Errorf("hwsim: pipeline failed to drain (simulator bug)")
+		}
+		op.cycles++
+
+		// Output controller: pop one record per cycle from the last
+		// FIFO; cascade one record forward between adjacent FIFOs.
+		last := len(op.fifos) - 1
+		if !op.fifos[last].empty() {
+			r := op.fifos[last].pop()
+			op.trace("output pe=%d il1=%d score=%d", r.PE, r.IL1, r.Score)
+			out = append(out, r)
+		}
+		for s := last - 1; s >= 0; s-- {
+			if !op.fifos[s].empty() && !op.fifos[s+1].full() {
+				op.fifos[s+1].push(op.fifos[s].pop())
+			}
+		}
+
+		if advance > streamLen-1+lastDelay {
+			// Stream fully consumed: keep cycling only to drain.
+			done := true
+			for _, f := range op.fifos {
+				if !f.empty() {
+					done = false
+					break
+				}
+			}
+			if done {
+				op.cycles-- // this cycle did no work
+				break
+			}
+			continue
+		}
+
+		// Back-pressure check: would any PE finishing this step push
+		// into a full FIFO? If so the master controller freezes the
+		// array for the cycle and lets the cascade drain.
+		blocked := false
+		for p := 0; p < op.loaded; p++ {
+			k := advance - op.cfg.peDelay(p)
+			if k < 0 || k >= streamLen {
+				continue
+			}
+			if op.pes[p].pos == L-1 && op.fifos[p/op.cfg.SlotSize].full() {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			op.stalls++
+			op.trace("stall: slot FIFO full, pipeline frozen")
+			continue
+		}
+
+		// All loaded PEs consume their in-flight residue.
+		for p := 0; p < op.loaded; p++ {
+			k := advance - op.cfg.peDelay(p)
+			if k < 0 || k >= streamLen {
+				continue
+			}
+			pep := &op.pes[p]
+			if pep.consume(il1[k], table, L) {
+				if int(pep.best) >= op.cfg.Threshold {
+					op.trace("pe %d (slot %d) finishes il1=%d score=%d ≥ T: push",
+						p, p/op.cfg.SlotSize, pep.il1, pep.best)
+					op.fifos[p/op.cfg.SlotSize].push(Record{
+						PE:    p,
+						IL1:   pep.il1,
+						Score: int(pep.best),
+					})
+				} else {
+					op.trace("pe %d finishes il1=%d score=%d < T: drop",
+						p, pep.il1, pep.best)
+				}
+				pep.reset(pep.il1 + 1)
+			}
+		}
+		advance++
+	}
+	return out, nil
+}

@@ -1,0 +1,323 @@
+package hwsim
+
+import (
+	"sort"
+	"testing"
+
+	"seedblast/internal/align"
+	"seedblast/internal/bank"
+	"seedblast/internal/matrix"
+)
+
+const testSubLen = 16
+
+func testPSC(numPEs, threshold int) PSCConfig {
+	return PSCConfig{
+		NumPEs:    numPEs,
+		SlotSize:  4,
+		FIFODepth: 8,
+		SubLen:    testSubLen,
+		Threshold: threshold,
+		Matrix:    matrix.BLOSUM62,
+	}
+}
+
+// randWindows builds n random neighbourhood windows.
+func randWindows(seed int64, n int) [][]byte {
+	rng := bank.NewRNG(seed)
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = bank.RandomProtein(rng, testSubLen)
+	}
+	return out
+}
+
+func flatten(ws [][]byte) []byte {
+	var out []byte
+	for _, w := range ws {
+		out = append(out, w...)
+	}
+	return out
+}
+
+func TestPSCConfigValidate(t *testing.T) {
+	good := testPSC(8, 20)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*PSCConfig){
+		func(c *PSCConfig) { c.NumPEs = 0 },
+		func(c *PSCConfig) { c.SlotSize = 0 },
+		func(c *PSCConfig) { c.FIFODepth = 0 },
+		func(c *PSCConfig) { c.SubLen = 0 },
+		func(c *PSCConfig) { c.Threshold = 0 },
+		func(c *PSCConfig) { c.Matrix = nil },
+	}
+	for i, mut := range bads {
+		c := testPSC(8, 20)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestPEDelayAndSlots(t *testing.T) {
+	c := testPSC(10, 20) // slot size 4 → slots of 4,4,2
+	if c.NumSlots() != 3 {
+		t.Errorf("NumSlots = %d, want 3", c.NumSlots())
+	}
+	// PE 0: no delay beyond its own register.
+	if c.peDelay(0) != 0 {
+		t.Errorf("peDelay(0) = %d", c.peDelay(0))
+	}
+	// PE 5 is in slot 1: 5 PE registers + 1 barrier.
+	if c.peDelay(5) != 6 {
+		t.Errorf("peDelay(5) = %d, want 6", c.peDelay(5))
+	}
+	// PE 9 in slot 2: 9 + 2.
+	if c.peDelay(9) != 11 {
+		t.Errorf("peDelay(9) = %d, want 11", c.peDelay(9))
+	}
+}
+
+func TestOperatorScoresMatchWindowScore(t *testing.T) {
+	// Every (PE, IL1) pair's score must equal the software WindowScore.
+	il0 := randWindows(1, 5)
+	il1 := randWindows(2, 9)
+	op, err := NewOperator(testPSC(8, 1)) // threshold 1: keep everything positive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.LoadIL0(il0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := op.StreamIL1(flatten(il1), len(il1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[[2]int]int{}
+	for _, r := range recs {
+		got[[2]int{r.PE, r.IL1}] = r.Score
+	}
+	for i := range il0 {
+		for j := range il1 {
+			want := align.WindowScore(il0[i], il1[j], matrix.BLOSUM62)
+			if want >= 1 {
+				if got[[2]int{i, j}] != want {
+					t.Fatalf("PE %d IL1 %d: score %d, want %d", i, j, got[[2]int{i, j}], want)
+				}
+				delete(got, [2]int{i, j})
+			}
+		}
+	}
+	if len(got) != 0 {
+		t.Errorf("%d unexpected records", len(got))
+	}
+}
+
+func TestOperatorThresholdFilters(t *testing.T) {
+	il0 := randWindows(3, 4)
+	il1 := randWindows(4, 6)
+	const threshold = 18
+	op, _ := NewOperator(testPSC(4, threshold))
+	if err := op.LoadIL0(il0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := op.StreamIL1(flatten(il1), len(il1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := range il0 {
+		for j := range il1 {
+			if align.WindowScore(il0[i], il1[j], matrix.BLOSUM62) >= threshold {
+				want++
+			}
+		}
+	}
+	if len(recs) != want {
+		t.Errorf("records = %d, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		if r.Score < threshold {
+			t.Errorf("record below threshold: %+v", r)
+		}
+	}
+}
+
+func TestOperatorCyclesMatchModelSparse(t *testing.T) {
+	// In the sparse-results regime the micro-engine's cycle count must
+	// match the closed-form model within the cascade-drain bound.
+	for _, tc := range []struct{ pes, n0, n1 int }{
+		{8, 8, 20},
+		{8, 3, 20}, // under-filled array
+		{16, 16, 5},
+		{16, 16, 1},
+		{4, 1, 1},
+	} {
+		cfg := testPSC(tc.pes, 60) // high threshold: almost no results
+		op, _ := NewOperator(cfg)
+		il0 := randWindows(int64(tc.pes), tc.n0)
+		il1 := randWindows(int64(tc.pes)+100, tc.n1)
+		if err := op.LoadIL0(il0); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := op.StreamIL1(flatten(il1), len(il1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		micro := op.Cycles()
+		model := cfg.PassCycles(tc.n0, tc.n1)
+		slack := uint64(cfg.NumSlots() + len(recs) + 2)
+		if micro < model || micro > model+slack {
+			t.Errorf("%+v: micro=%d model=%d (+%d slack)", tc, micro, model, slack)
+		}
+	}
+}
+
+func TestOperatorBackPressureStalls(t *testing.T) {
+	// Every pair is a result and the array produces more than one
+	// record per cycle on average (NumPEs > SubLen), so the single
+	// output port cannot keep up: depth-2 FIFOs must back-pressure,
+	// and every record must still come out exactly once.
+	rng := bank.NewRNG(55)
+	w := bank.RandomProtein(rng, testSubLen)
+	const numPEs, numIL1 = 24, 12
+	il0 := make([][]byte, numPEs)
+	il1 := make([][]byte, numIL1)
+	for i := range il0 {
+		il0[i] = w
+	}
+	for j := range il1 {
+		il1[j] = w
+	}
+	cfg := testPSC(numPEs, 1)
+	cfg.FIFODepth = 2
+	op, _ := NewOperator(cfg)
+	if err := op.LoadIL0(il0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := op.StreamIL1(flatten(il1), len(il1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != numPEs*numIL1 {
+		t.Fatalf("records = %d, want %d (dense hit case)", len(recs), numPEs*numIL1)
+	}
+	if op.StallCycles() == 0 {
+		t.Error("dense results at >1 record/cycle with depth-2 FIFOs should stall")
+	}
+	// All pairs present exactly once.
+	seen := map[[2]int]bool{}
+	for _, r := range recs {
+		k := [2]int{r.PE, r.IL1}
+		if seen[k] {
+			t.Fatalf("duplicate record %+v", r)
+		}
+		seen[k] = true
+	}
+}
+
+func TestOperatorNoStallsWhenProductionUnderDrainRate(t *testing.T) {
+	// With NumPEs < SubLen the staggered slot delays serialise pushes
+	// below one record per cycle, so even dense hits never stall.
+	rng := bank.NewRNG(56)
+	w := bank.RandomProtein(rng, testSubLen)
+	il0 := make([][]byte, 8)
+	il1 := make([][]byte, 12)
+	for i := range il0 {
+		il0[i] = w
+	}
+	for j := range il1 {
+		il1[j] = w
+	}
+	cfg := testPSC(8, 1)
+	cfg.FIFODepth = 2
+	op, _ := NewOperator(cfg)
+	if err := op.LoadIL0(il0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := op.StreamIL1(flatten(il1), len(il1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 8*12 {
+		t.Fatalf("records = %d, want 96", len(recs))
+	}
+	if op.StallCycles() != 0 {
+		t.Errorf("unexpected stalls: %d", op.StallCycles())
+	}
+}
+
+func TestOperatorPartialLoadIgnoresEmptyPEs(t *testing.T) {
+	il0 := randWindows(7, 2)
+	il1 := randWindows(8, 4)
+	op, _ := NewOperator(testPSC(8, 1))
+	if err := op.LoadIL0(il0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := op.StreamIL1(flatten(il1), len(il1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.PE >= 2 {
+			t.Errorf("record from unloaded PE %d", r.PE)
+		}
+	}
+}
+
+func TestOperatorReload(t *testing.T) {
+	// A second batch must fully replace the first.
+	il0a := randWindows(9, 4)
+	il0b := randWindows(10, 2)
+	il1 := randWindows(11, 3)
+	op, _ := NewOperator(testPSC(4, 1))
+	if err := op.LoadIL0(il0a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := op.StreamIL1(flatten(il1), len(il1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.LoadIL0(il0b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := op.StreamIL1(flatten(il1), len(il1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].PE < recs[j].PE })
+	for _, r := range recs {
+		if r.PE >= 2 {
+			t.Fatalf("stale PE %d produced a record after reload", r.PE)
+		}
+		want := align.WindowScore(il0b[r.PE], il1[r.IL1], matrix.BLOSUM62)
+		if r.Score != want {
+			t.Errorf("reloaded PE %d score %d, want %d", r.PE, r.Score, want)
+		}
+	}
+}
+
+func TestOperatorErrors(t *testing.T) {
+	op, _ := NewOperator(testPSC(4, 10))
+	if _, err := op.StreamIL1(nil, 0); err == nil {
+		t.Error("stream before load accepted")
+	}
+	if err := op.LoadIL0(nil); err == nil {
+		t.Error("empty load accepted")
+	}
+	if err := op.LoadIL0(randWindows(1, 5)); err == nil {
+		t.Error("overfull load accepted")
+	}
+	short := [][]byte{make([]byte, testSubLen-1)}
+	if err := op.LoadIL0(short); err == nil {
+		t.Error("short sub-sequence accepted")
+	}
+	if err := op.LoadIL0(randWindows(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := op.StreamIL1(make([]byte, 5), 1); err == nil {
+		t.Error("mis-sized stream accepted")
+	}
+}

@@ -1,0 +1,173 @@
+// Package index implements step 1 of the paper's algorithm: indexing a
+// protein bank by seed key. For a seed of width W it builds a table
+// with one entry per key; entry k points at the index list ILk of
+// sequence offsets where a word with key k occurs (§2.1). The layout is
+// CSR-like (a flat entry array plus per-key offsets) so buckets are
+// contiguous and cache-friendly, and the W+2N neighbourhood windows the
+// ungapped-extension stage consumes are pre-extracted next to their
+// entries, mirroring the data flow into the PSC operator.
+package index
+
+import (
+	"fmt"
+
+	"seedblast/internal/alphabet"
+	"seedblast/internal/bank"
+	"seedblast/internal/seed"
+)
+
+// Entry locates one seed occurrence.
+type Entry struct {
+	Seq uint32 // sequence number within the bank
+	Off uint32 // residue offset of the seed's first position
+}
+
+// Index is the product of step 1 for one bank.
+type Index struct {
+	bank        *bank.Bank
+	model       seed.Model
+	n           int // neighbourhood extension on each side
+	subLen      int // W + 2N
+	bucketStart []uint32
+	entries     []Entry
+	// neighborhoods stores, for entry i, the window
+	// [off-N, off+W+N) padded with X at sequence boundaries, at
+	// neighborhoods[i*subLen : (i+1)*subLen].
+	neighborhoods []byte
+}
+
+// Build indexes every W-wide window of every sequence in b. Windows
+// containing ambiguous residues are skipped (they are not indexable
+// under the seed model). n is the neighbourhood extension N: the
+// ungapped stage scores windows of length W+2N centred on the seed.
+func Build(b *bank.Bank, model seed.Model, n int) (*Index, error) {
+	if n < 0 {
+		return nil, errNegativeN(n)
+	}
+	w := model.Width()
+	ix := &Index{
+		bank:   b,
+		model:  model,
+		n:      n,
+		subLen: w + 2*n,
+	}
+	space := model.KeySpace()
+	counts := make([]uint32, space+1)
+
+	// Pass 1: bucket sizes.
+	for s := 0; s < b.Len(); s++ {
+		seq := b.Seq(s)
+		for off := 0; off+w <= len(seq); off++ {
+			if key, ok := model.Key(seq[off : off+w]); ok {
+				counts[key+1]++
+			}
+		}
+	}
+	// Prefix sums: counts becomes bucketStart.
+	for k := 1; k <= space; k++ {
+		counts[k] += counts[k-1]
+	}
+	total := counts[space]
+	ix.bucketStart = counts
+	ix.entries = make([]Entry, total)
+	ix.neighborhoods = make([]byte, int(total)*ix.subLen)
+
+	// Pass 2: fill buckets using a moving cursor per key.
+	cursor := make([]uint32, space)
+	copy(cursor, ix.bucketStart[:space])
+	for s := 0; s < b.Len(); s++ {
+		seq := b.Seq(s)
+		for off := 0; off+w <= len(seq); off++ {
+			key, ok := model.Key(seq[off : off+w])
+			if !ok {
+				continue
+			}
+			i := cursor[key]
+			cursor[key]++
+			ix.entries[i] = Entry{Seq: uint32(s), Off: uint32(off)}
+			extractWindow(ix.neighborhoods[int(i)*ix.subLen:(int(i)+1)*ix.subLen], seq, off-n)
+		}
+	}
+	return ix, nil
+}
+
+func errNegativeN(n int) error {
+	return fmt.Errorf("index: negative neighbourhood %d", n)
+}
+
+// extractWindow copies seq[start : start+len(dst)] into dst, padding
+// positions outside the sequence with X. X scores like an unknown
+// residue, matching BLAST's handling of sequence boundaries.
+func extractWindow(dst, seq []byte, start int) {
+	for i := range dst {
+		p := start + i
+		if p < 0 || p >= len(seq) {
+			dst[i] = alphabet.Xaa
+		} else {
+			dst[i] = seq[p]
+		}
+	}
+}
+
+// Bank returns the indexed bank.
+func (ix *Index) Bank() *bank.Bank { return ix.bank }
+
+// Model returns the seed model the index was built with.
+func (ix *Index) Model() seed.Model { return ix.model }
+
+// N returns the neighbourhood extension.
+func (ix *Index) N() int { return ix.n }
+
+// SubLen returns the neighbourhood window length W + 2N.
+func (ix *Index) SubLen() int { return ix.subLen }
+
+// NumEntries returns the total number of indexed seed occurrences.
+func (ix *Index) NumEntries() int { return len(ix.entries) }
+
+// Bucket returns the index list for key k (entries and their
+// neighbourhood block, len(entries)*SubLen bytes). Both slices alias
+// index storage and must not be modified.
+func (ix *Index) Bucket(k uint32) ([]Entry, []byte) {
+	lo, hi := ix.bucketStart[k], ix.bucketStart[k+1]
+	return ix.entries[lo:hi], ix.neighborhoods[int(lo)*ix.subLen : int(hi)*ix.subLen]
+}
+
+// BucketLen returns the number of entries for key k without touching
+// the entry storage.
+func (ix *Index) BucketLen(k uint32) int {
+	return int(ix.bucketStart[k+1] - ix.bucketStart[k])
+}
+
+// Stats summarises index shape; used by reports and load-balance tests.
+type Stats struct {
+	Keys         int
+	UsedKeys     int
+	Entries      int
+	MaxBucket    int
+	MeanOccupied float64 // mean entries per non-empty bucket
+}
+
+// Stats computes summary statistics over all buckets.
+func (ix *Index) Stats() Stats {
+	st := Stats{Keys: ix.model.KeySpace(), Entries: len(ix.entries)}
+	for k := 0; k < st.Keys; k++ {
+		n := ix.BucketLen(uint32(k))
+		if n == 0 {
+			continue
+		}
+		st.UsedKeys++
+		if n > st.MaxBucket {
+			st.MaxBucket = n
+		}
+	}
+	if st.UsedKeys > 0 {
+		st.MeanOccupied = float64(st.Entries) / float64(st.UsedKeys)
+	}
+	return st
+}
+
+// Neighborhood returns the stored window of entry index ei (aliasing
+// internal storage).
+func (ix *Index) Neighborhood(ei int) []byte {
+	return ix.neighborhoods[ei*ix.subLen : (ei+1)*ix.subLen]
+}

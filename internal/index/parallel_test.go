@@ -1,0 +1,63 @@
+package index
+
+import (
+	"testing"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/seed"
+)
+
+func TestBuildParallelBitIdentical(t *testing.T) {
+	rng := bank.NewRNG(71)
+	b := bank.New("p")
+	for i := 0; i < 17; i++ { // odd count: uneven worker ranges
+		b.Add(string(rune('a'+i)), bank.RandomProtein(rng, 80+i*7))
+	}
+	model := seed.Default()
+	ref, err := Build(b, model, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 5, 8, 32} {
+		par, err := BuildParallel(b, model, 6, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.NumEntries() != ref.NumEntries() {
+			t.Fatalf("workers=%d: %d entries, want %d",
+				workers, par.NumEntries(), ref.NumEntries())
+		}
+		for i := range ref.entries {
+			if par.entries[i] != ref.entries[i] {
+				t.Fatalf("workers=%d: entry %d = %+v, want %+v",
+					workers, i, par.entries[i], ref.entries[i])
+			}
+		}
+		if string(par.neighborhoods) != string(ref.neighborhoods) {
+			t.Fatalf("workers=%d: neighbourhood storage differs", workers)
+		}
+		for k := 0; k <= model.KeySpace(); k++ {
+			if par.bucketStart[k] != ref.bucketStart[k] {
+				t.Fatalf("workers=%d: bucketStart[%d] differs", workers, k)
+			}
+		}
+	}
+}
+
+func TestBuildParallelEmptyBank(t *testing.T) {
+	b := bank.New("empty")
+	ix, err := BuildParallel(b, seed.Exact(3), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumEntries() != 0 {
+		t.Error("entries from empty bank")
+	}
+}
+
+func TestBuildParallelRejectsNegativeN(t *testing.T) {
+	b := bank.New("b")
+	if _, err := BuildParallel(b, seed.Exact(2), -1, 2); err == nil {
+		t.Error("negative N accepted")
+	}
+}

@@ -1,0 +1,87 @@
+// Package metrics implements the sensitivity/selectivity measures of
+// the paper's §4.4: ROC50 and the average precision (AP) criterion,
+// computed over ranked hit lists with known truth labels.
+package metrics
+
+import "sort"
+
+// RankedHit is one search result with its truth label.
+type RankedHit struct {
+	Score float64
+	True  bool
+}
+
+// SortByScore orders hits by descending score (rank order). Ties keep
+// their relative order (stable), matching report order.
+func SortByScore(hits []RankedHit) {
+	sort.SliceStable(hits, func(i, j int) bool { return hits[i].Score > hits[j].Score })
+}
+
+// ROC50 computes the ROC50 score of one query's ranked hit list, as
+// the paper describes: for each of the first 50 false positives, count
+// the true positives ranked above it; the counts are summed and divided
+// by 50×P, with P the number of sequences of the family. If the list
+// runs out before 50 false positives, each missing false positive is
+// credited with every true positive found (the curve is extended
+// horizontally, as in Gertz et al.).
+func ROC50(hits []RankedHit, familySize int) float64 {
+	if familySize <= 0 {
+		return 0
+	}
+	const nFP = 50
+	tp := 0
+	fp := 0
+	sum := 0
+	for _, h := range hits {
+		if h.True {
+			tp++
+			continue
+		}
+		fp++
+		sum += tp
+		if fp == nFP {
+			break
+		}
+	}
+	for ; fp < nFP; fp++ {
+		sum += tp
+	}
+	roc := float64(sum) / float64(nFP*familySize)
+	if roc > 1 {
+		roc = 1
+	}
+	return roc
+}
+
+// AveragePrecision computes the AP criterion over the 50 best
+// alignments of one query: for each true positive, its true-positive
+// rank divided by its list position, summed and divided by the total
+// number of true positives found.
+func AveragePrecision(hits []RankedHit) float64 {
+	const top = 50
+	n := min(len(hits), top)
+	tp := 0
+	var sum float64
+	for i := 0; i < n; i++ {
+		if hits[i].True {
+			tp++
+			sum += float64(tp) / float64(i+1)
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	return sum / float64(tp)
+}
+
+// Mean averages a slice of per-query scores.
+func Mean(scores []float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	return sum / float64(len(scores))
+}

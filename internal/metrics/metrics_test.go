@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func hitsFromPattern(pattern string) []RankedHit {
+	// 'T' true positive, 'F' false positive, ranked left to right.
+	out := make([]RankedHit, len(pattern))
+	for i, c := range pattern {
+		out[i] = RankedHit{Score: float64(len(pattern) - i), True: c == 'T'}
+	}
+	return out
+}
+
+func TestROC50Perfect(t *testing.T) {
+	// All P=4 members found before any false positive: every one of the
+	// 50 FPs (all virtual) has 4 TPs above it → 50·4/(50·4) = 1.
+	got := ROC50(hitsFromPattern("TTTTFFFF"), 4)
+	if got != 1 {
+		t.Errorf("perfect ROC50 = %f, want 1", got)
+	}
+}
+
+func TestROC50Worst(t *testing.T) {
+	// No true positives at all.
+	got := ROC50(hitsFromPattern("FFFFFFFF"), 4)
+	if got != 0 {
+		t.Errorf("worst ROC50 = %f, want 0", got)
+	}
+}
+
+func TestROC50Interleaved(t *testing.T) {
+	// P=2: F T F T → FP1 has 0 TPs above, FP2 has 1; remaining 48 FPs
+	// get 2 each → (0+1+48·2)/(50·2) = 97/100.
+	got := ROC50(hitsFromPattern("FTFT"), 2)
+	want := 97.0 / 100.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ROC50 = %f, want %f", got, want)
+	}
+}
+
+func TestROC50StopsAt50FPs(t *testing.T) {
+	// A TP after the 50th FP must not count.
+	pattern := ""
+	for i := 0; i < 50; i++ {
+		pattern += "F"
+	}
+	pattern += "T"
+	got := ROC50(hitsFromPattern(pattern), 1)
+	if got != 0 {
+		t.Errorf("TP after 50th FP counted: %f", got)
+	}
+}
+
+func TestROC50InvalidFamily(t *testing.T) {
+	if ROC50(hitsFromPattern("T"), 0) != 0 {
+		t.Error("familySize 0 should give 0")
+	}
+}
+
+func TestROC50Bounds(t *testing.T) {
+	f := func(raw []bool, p uint8) bool {
+		fam := int(p%5) + 1
+		hits := make([]RankedHit, len(raw))
+		for i, b := range raw {
+			hits[i] = RankedHit{Score: float64(len(raw) - i), True: b}
+		}
+		r := ROC50(hits, fam)
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAveragePrecisionPerfect(t *testing.T) {
+	if got := AveragePrecision(hitsFromPattern("TTT")); got != 1 {
+		t.Errorf("perfect AP = %f", got)
+	}
+}
+
+func TestAveragePrecisionKnown(t *testing.T) {
+	// T F T: ranks 1 and 3 are true → (1/1 + 2/3)/2 = 5/6.
+	got := AveragePrecision(hitsFromPattern("TFT"))
+	want := 5.0 / 6.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("AP = %f, want %f", got, want)
+	}
+}
+
+func TestAveragePrecisionEmptyAndAllFalse(t *testing.T) {
+	if AveragePrecision(nil) != 0 {
+		t.Error("empty AP should be 0")
+	}
+	if AveragePrecision(hitsFromPattern("FFF")) != 0 {
+		t.Error("all-false AP should be 0")
+	}
+}
+
+func TestAveragePrecisionTop50Only(t *testing.T) {
+	// 50 false then a true: the true is outside the window.
+	pattern := ""
+	for i := 0; i < 50; i++ {
+		pattern += "F"
+	}
+	pattern += "T"
+	if AveragePrecision(hitsFromPattern(pattern)) != 0 {
+		t.Error("hit 51 counted")
+	}
+}
+
+func TestAveragePrecisionBounds(t *testing.T) {
+	f := func(raw []bool) bool {
+		hits := make([]RankedHit, len(raw))
+		for i, b := range raw {
+			hits[i] = RankedHit{Score: float64(len(raw) - i), True: b}
+		}
+		ap := AveragePrecision(hits)
+		return ap >= 0 && ap <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortByScore(t *testing.T) {
+	hits := []RankedHit{{Score: 1}, {Score: 9, True: true}, {Score: 5}}
+	SortByScore(hits)
+	if !hits[0].True || hits[1].Score != 5 || hits[2].Score != 1 {
+		t.Errorf("sort wrong: %+v", hits)
+	}
+}
+
+func TestSortByScoreStable(t *testing.T) {
+	hits := []RankedHit{{Score: 5, True: true}, {Score: 5, True: false}}
+	SortByScore(hits)
+	if !hits[0].True {
+		t.Error("stable sort violated on ties")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+}

@@ -1,0 +1,35 @@
+// Package perfmodel computes the throughput measure of the paper's
+// Table 5 — Kilo amino acids × Mega nucleotides processed per second
+// (KaaMnt/sec) — and carries the literature constants the paper
+// compares against.
+package perfmodel
+
+// KaaMntPerSec returns the Table 5 ratio: the product of the protein
+// bank size in kilo amino acids and the genome size in mega
+// nucleotides, divided by the processing time.
+func KaaMntPerSec(bankResidues, genomeNt int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	kaa := float64(bankResidues) / 1e3
+	mnt := float64(genomeNt) / 1e6
+	return kaa * mnt / seconds
+}
+
+// Comparator is one row of Table 5: a published implementation and its
+// throughput as reported or extrapolated by the paper.
+type Comparator struct {
+	Name  string
+	Value float64 // KaaMnt/sec
+	Note  string
+}
+
+// PaperComparators lists Table 5's literature values. The paper's own
+// measurement (half a RASC-100, one FPGA with 192 PEs) is 620.
+var PaperComparators = []Comparator{
+	{Name: "DeCypher", Value: 182, Note: "TimeLogic benchmark [1]: 4289 proteins vs 192 bacterial genomes in 1h36"},
+	{Name: "CLC", Value: 2, Note: "extrapolated from GCUPS in [3]; full Smith-Waterman, strongly biased"},
+	{Name: "FLASH/FPGA", Value: 451, Note: "index-in-flash prototype [9], hardware not on the market"},
+	{Name: "Systolic", Value: 863, Note: "peak, 3072-PE array exactly matching sequence length [6]; 258 for a standard 330 aa protein; no gap extension"},
+	{Name: "1/2 RASC-100", Value: 620, Note: "the paper's measurement: one FPGA, 192 PEs at 100 MHz"},
+}

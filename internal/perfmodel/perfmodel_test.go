@@ -1,0 +1,53 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKaaMntPerSecKnown(t *testing.T) {
+	// 10,335,365 aa bank × 220 Mnt genome in 3667 s (the paper's 30K /
+	// 192 PE row) gives ≈ 620 KaaMnt/s — Table 5's ½RASC-100 value.
+	got := KaaMntPerSec(10_335_365, 220_000_000, 3667)
+	if math.Abs(got-620) > 1 {
+		t.Errorf("KaaMnt/s = %f, want ≈ 620 (paper Table 5)", got)
+	}
+}
+
+func TestKaaMntPerSecDeCypher(t *testing.T) {
+	// DeCypher benchmark: 1,358,990 aa vs 775,191,168 nt in 1h36 ⇒ 182.
+	got := KaaMntPerSec(1_358_990, 775_191_168, 96*60)
+	if math.Abs(got-182) > 2 {
+		t.Errorf("DeCypher KaaMnt/s = %f, want ≈ 182", got)
+	}
+}
+
+func TestKaaMntPerSecDegenerate(t *testing.T) {
+	if KaaMntPerSec(1000, 1000, 0) != 0 {
+		t.Error("zero time should give 0")
+	}
+	if KaaMntPerSec(1000, 1000, -5) != 0 {
+		t.Error("negative time should give 0")
+	}
+}
+
+func TestPaperComparators(t *testing.T) {
+	if len(PaperComparators) != 5 {
+		t.Fatalf("Table 5 has 5 rows, got %d", len(PaperComparators))
+	}
+	wants := map[string]float64{
+		"DeCypher":     182,
+		"CLC":          2,
+		"FLASH/FPGA":   451,
+		"Systolic":     863,
+		"1/2 RASC-100": 620,
+	}
+	for _, c := range PaperComparators {
+		if wants[c.Name] != c.Value {
+			t.Errorf("%s = %f, want %f", c.Name, c.Value, wants[c.Name])
+		}
+		if c.Note == "" {
+			t.Errorf("%s missing provenance note", c.Name)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package seed implements the seed models used for indexing: exact
+// W-mers (classic BLAST-style words) and subset seeds (Peterlongo et
+// al., reference [11] of the paper), where each seed position maps
+// amino acids through a reduced alphabet so that similar residues share
+// a key. The paper indexes both banks with a single subset seed of
+// W = 4 because this approach "is very efficient for indexing the
+// protein sequences" while keeping BLAST-level sensitivity.
+package seed
+
+import (
+	"fmt"
+	"strings"
+
+	"seedblast/internal/alphabet"
+)
+
+// Model maps fixed-width windows of protein codes to integer keys.
+// Two windows receive the same key exactly when they match under the
+// seed; the index buckets sequence positions by key.
+type Model interface {
+	// Width returns the seed width W in residues.
+	Width() int
+	// KeySpace returns the number of distinct keys (index table size).
+	KeySpace() int
+	// Key returns the key of the window w (len(w) == Width()) and
+	// whether the window is indexable. Windows containing ambiguous or
+	// stop residues are not indexable, mirroring BLAST's seed masking.
+	Key(w []byte) (uint32, bool)
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Partition groups the 20 standard amino acids into equivalence classes
+// for one seed position. Group[aa] is the class id; NumGroups is the
+// number of classes.
+type Partition struct {
+	Group     [alphabet.NumStandardAA]uint8
+	NumGroups int
+	Label     string
+}
+
+// Identity returns the trivial partition where every amino acid is its
+// own class (an exact seed position).
+func Identity() Partition {
+	var p Partition
+	for i := range p.Group {
+		p.Group[i] = uint8(i)
+	}
+	p.NumGroups = alphabet.NumStandardAA
+	p.Label = "exact"
+	return p
+}
+
+// NewPartition builds a partition from explicit classes written as
+// amino-acid letter groups, e.g. "LVIM,C,A,G,ST,P,FYW,EDNQ,KR,H".
+// Every standard amino acid must appear exactly once.
+func NewPartition(spec string) (Partition, error) {
+	var p Partition
+	seen := [alphabet.NumStandardAA]bool{}
+	groups := strings.Split(spec, ",")
+	for gi, g := range groups {
+		for i := 0; i < len(g); i++ {
+			codes, err := alphabet.EncodeProtein(g[i : i+1])
+			if err != nil {
+				return Partition{}, fmt.Errorf("seed: partition %q: %v", spec, err)
+			}
+			c := codes[0]
+			if !alphabet.IsStandardAA(c) {
+				return Partition{}, fmt.Errorf("seed: partition %q: %c is not a standard amino acid", spec, g[i])
+			}
+			if seen[c] {
+				return Partition{}, fmt.Errorf("seed: partition %q: %c appears twice", spec, g[i])
+			}
+			seen[c] = true
+			p.Group[c] = uint8(gi)
+		}
+	}
+	for c, ok := range seen {
+		if !ok {
+			return Partition{}, fmt.Errorf("seed: partition %q: %c missing", spec, alphabet.ProteinLetter(byte(c)))
+		}
+	}
+	p.NumGroups = len(groups)
+	p.Label = spec
+	return p, nil
+}
+
+// Murphy10 returns the Murphy, Wallqvist & Levy 10-class reduced
+// alphabet, the canonical grouping behind protein subset seeds.
+func Murphy10() Partition {
+	p, err := NewPartition("LVIM,C,A,G,ST,P,FYW,EDNQ,KR,H")
+	if err != nil {
+		panic(err) // spec is a compile-time constant
+	}
+	p.Label = "murphy10"
+	return p
+}
+
+// SubsetModel is a subset seed: one partition per position. The key is
+// the mixed-radix number of per-position class ids.
+type SubsetModel struct {
+	positions []Partition
+	keySpace  int
+	name      string
+}
+
+// NewSubset builds a subset seed from per-position partitions.
+func NewSubset(name string, positions ...Partition) (*SubsetModel, error) {
+	if len(positions) == 0 {
+		return nil, fmt.Errorf("seed: subset seed needs at least one position")
+	}
+	space := 1
+	for _, p := range positions {
+		if p.NumGroups <= 0 {
+			return nil, fmt.Errorf("seed: empty partition in subset seed")
+		}
+		if space > (1<<31)/p.NumGroups {
+			return nil, fmt.Errorf("seed: key space overflows uint32")
+		}
+		space *= p.NumGroups
+	}
+	return &SubsetModel{positions: positions, keySpace: space, name: name}, nil
+}
+
+// Exact returns the exact-word seed of width w: every position uses the
+// identity partition, giving the classic 20^w BLAST index.
+func Exact(w int) *SubsetModel {
+	positions := make([]Partition, w)
+	for i := range positions {
+		positions[i] = Identity()
+	}
+	m, err := NewSubset(fmt.Sprintf("exact%d", w), positions...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Default returns the seed model the pipeline uses out of the box: the
+// paper's W = 4 subset seed, here realised as exact outer positions and
+// Murphy10-reduced inner positions (key space 20·10·10·20 = 40000).
+func Default() *SubsetModel {
+	m, err := NewSubset("subset4", Identity(), Murphy10(), Murphy10(), Identity())
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Width implements Model.
+func (m *SubsetModel) Width() int { return len(m.positions) }
+
+// KeySpace implements Model.
+func (m *SubsetModel) KeySpace() int { return m.keySpace }
+
+// Name implements Model.
+func (m *SubsetModel) Name() string { return m.name }
+
+// Key implements Model.
+func (m *SubsetModel) Key(w []byte) (uint32, bool) {
+	if len(w) != len(m.positions) {
+		return 0, false
+	}
+	var key uint32
+	for i, c := range w {
+		if !alphabet.IsStandardAA(c) {
+			return 0, false
+		}
+		p := &m.positions[i]
+		key = key*uint32(p.NumGroups) + uint32(p.Group[c])
+	}
+	return key, true
+}
+
+// Positions returns a copy of the per-position partitions.
+func (m *SubsetModel) Positions() []Partition {
+	return append([]Partition(nil), m.positions...)
+}
+
+// compile-time interface check
+var _ Model = (*SubsetModel)(nil)

@@ -1,0 +1,187 @@
+package seed
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seedblast/internal/alphabet"
+)
+
+func TestIdentityPartition(t *testing.T) {
+	p := Identity()
+	if p.NumGroups != alphabet.NumStandardAA {
+		t.Fatalf("NumGroups = %d", p.NumGroups)
+	}
+	seen := map[uint8]bool{}
+	for _, g := range p.Group {
+		if seen[g] {
+			t.Fatal("identity partition merges residues")
+		}
+		seen[g] = true
+	}
+}
+
+func TestNewPartitionValid(t *testing.T) {
+	p, err := NewPartition("LVIM,C,A,G,ST,P,FYW,EDNQ,KR,H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumGroups != 10 {
+		t.Fatalf("NumGroups = %d, want 10", p.NumGroups)
+	}
+	l := alphabet.MustEncodeProtein("L")[0]
+	v := alphabet.MustEncodeProtein("V")[0]
+	c := alphabet.MustEncodeProtein("C")[0]
+	if p.Group[l] != p.Group[v] {
+		t.Error("L and V should share a class")
+	}
+	if p.Group[l] == p.Group[c] {
+		t.Error("L and C should not share a class")
+	}
+}
+
+func TestNewPartitionErrors(t *testing.T) {
+	cases := []string{
+		"LVIM,C,A,G,ST,P,FYW,EDNQ,KR",    // H missing
+		"LVIM,C,A,G,ST,P,FYW,EDNQ,KR,HL", // L twice
+		"LVIM,C,A,G,ST,P,FYW,EDNQ,KR,HX", // X not standard
+		"LV#M,C,A,G,ST,P,FYW,EDNQ,KR,H",  // invalid letter
+	}
+	for _, spec := range cases {
+		if _, err := NewPartition(spec); err == nil {
+			t.Errorf("NewPartition(%q) accepted invalid spec", spec)
+		}
+	}
+}
+
+func TestMurphy10(t *testing.T) {
+	p := Murphy10()
+	if p.NumGroups != 10 || p.Label != "murphy10" {
+		t.Fatalf("murphy10 = %+v", p)
+	}
+}
+
+func TestExactModelKeys(t *testing.T) {
+	m := Exact(3)
+	if m.Width() != 3 || m.KeySpace() != 20*20*20 {
+		t.Fatalf("width=%d keyspace=%d", m.Width(), m.KeySpace())
+	}
+	k1, ok1 := m.Key(alphabet.MustEncodeProtein("ARN"))
+	k2, ok2 := m.Key(alphabet.MustEncodeProtein("ARN"))
+	k3, ok3 := m.Key(alphabet.MustEncodeProtein("ARD"))
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("standard windows must be indexable")
+	}
+	if k1 != k2 {
+		t.Error("equal windows produce different keys")
+	}
+	if k1 == k3 {
+		t.Error("different windows collide under exact seed")
+	}
+}
+
+func TestExactKeyIsMixedRadix(t *testing.T) {
+	m := Exact(2)
+	w := []byte{3, 7} // D, G by code
+	k, ok := m.Key(w)
+	if !ok || k != 3*20+7 {
+		t.Errorf("key = %d ok=%v, want %d", k, ok, 3*20+7)
+	}
+}
+
+func TestKeyRejectsAmbiguous(t *testing.T) {
+	m := Default()
+	for _, s := range []string{"AXRN", "AR*N", "ARNB", "ZRNA"} {
+		if _, ok := m.Key(alphabet.MustEncodeProtein(s)); ok {
+			t.Errorf("window %q should not be indexable", s)
+		}
+	}
+}
+
+func TestKeyRejectsWrongWidth(t *testing.T) {
+	m := Default()
+	if _, ok := m.Key(alphabet.MustEncodeProtein("ARN")); ok {
+		t.Error("short window accepted")
+	}
+}
+
+func TestDefaultModel(t *testing.T) {
+	m := Default()
+	if m.Width() != 4 {
+		t.Fatalf("width = %d, want 4", m.Width())
+	}
+	if m.KeySpace() != 20*10*10*20 {
+		t.Fatalf("keyspace = %d, want 40000", m.KeySpace())
+	}
+	// Inner positions are reduced: LL.. and LV.. group; outer exact.
+	k1, _ := m.Key(alphabet.MustEncodeProtein("ALLA"))
+	k2, _ := m.Key(alphabet.MustEncodeProtein("AVMA"))
+	if k1 != k2 {
+		t.Error("subset seed should merge LVIM at inner positions")
+	}
+	k3, _ := m.Key(alphabet.MustEncodeProtein("VLLA"))
+	if k1 == k3 {
+		t.Error("outer position must stay exact")
+	}
+}
+
+func TestSubsetKeysWithinSpace(t *testing.T) {
+	m := Default()
+	f := func(raw [4]byte) bool {
+		w := make([]byte, 4)
+		for i, b := range raw {
+			w[i] = b % alphabet.NumStandardAA
+		}
+		k, ok := m.Key(w)
+		return ok && int(k) < m.KeySpace()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsetSeedIsEquivalenceRelation(t *testing.T) {
+	// Windows with per-position equal classes collide; otherwise not.
+	m := Default()
+	pos := m.Positions()
+	f := func(a, b [4]byte) bool {
+		wa, wb := make([]byte, 4), make([]byte, 4)
+		same := true
+		for i := 0; i < 4; i++ {
+			wa[i] = a[i] % alphabet.NumStandardAA
+			wb[i] = b[i] % alphabet.NumStandardAA
+			if pos[i].Group[wa[i]] != pos[i].Group[wb[i]] {
+				same = false
+			}
+		}
+		ka, _ := m.Key(wa)
+		kb, _ := m.Key(wb)
+		return (ka == kb) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewSubsetErrors(t *testing.T) {
+	if _, err := NewSubset("empty"); err == nil {
+		t.Error("empty subset seed accepted")
+	}
+	// Key space overflow: 20^8 > 2^31.
+	positions := make([]Partition, 8)
+	for i := range positions {
+		positions[i] = Identity()
+	}
+	if _, err := NewSubset("huge", positions...); err == nil {
+		t.Error("overflowing key space accepted")
+	}
+}
+
+func TestPositionsIsACopy(t *testing.T) {
+	m := Default()
+	p := m.Positions()
+	p[0].NumGroups = 1
+	if m.Positions()[0].NumGroups == 1 {
+		t.Error("Positions leaked internal state")
+	}
+}

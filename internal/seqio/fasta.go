@@ -1,0 +1,195 @@
+// Package seqio reads and writes biological sequences in FASTA format.
+//
+// Records hold raw ASCII residues; encoding into the compact alphabet
+// codes is the caller's job (packages alphabet / translate), so the same
+// reader serves protein and nucleotide files.
+package seqio
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Record is a single FASTA record. ID is the first whitespace-delimited
+// token of the header line; Description is the remainder (possibly
+// empty); Seq holds the residue letters with whitespace removed.
+type Record struct {
+	ID          string
+	Description string
+	Seq         []byte
+}
+
+// Reader streams FASTA records from an io.Reader.
+type Reader struct {
+	scanner *bufio.Reader
+	pending string // header line of the next record, without '>'
+	line    int
+	started bool
+}
+
+// NewReader returns a Reader consuming FASTA text from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{scanner: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// ParseError reports malformed FASTA input.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("seqio: line %d: %s", e.Line, e.Msg)
+}
+
+// Next returns the next record, or io.EOF after the last one.
+func (r *Reader) Next() (*Record, error) {
+	header := r.pending
+	r.pending = ""
+	if header == "" {
+		for {
+			line, err := r.readLine()
+			if err != nil {
+				if err == io.EOF && !r.started {
+					return nil, io.EOF
+				}
+				return nil, err
+			}
+			if len(line) == 0 {
+				continue
+			}
+			if line[0] != '>' {
+				return nil, &ParseError{Line: r.line, Msg: "sequence data before first header"}
+			}
+			header = strings.TrimSpace(line[1:])
+			break
+		}
+	}
+	r.started = true
+	var seq []byte
+	for {
+		line, err := r.readLine()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '>' {
+			r.pending = strings.TrimSpace(line[1:])
+			break
+		}
+		for i := 0; i < len(line); i++ {
+			c := line[i]
+			if c == ' ' || c == '\t' || c == '\r' {
+				continue
+			}
+			if c == '>' {
+				// '>' can only start a header line; embedded in sequence
+				// data it would not survive a write/read round trip.
+				return nil, &ParseError{Line: r.line, Msg: "unexpected '>' inside sequence data"}
+			}
+			seq = append(seq, c)
+		}
+	}
+	rec := &Record{Seq: seq}
+	if sp := strings.IndexAny(header, " \t"); sp >= 0 {
+		rec.ID = header[:sp]
+		rec.Description = strings.TrimSpace(header[sp+1:])
+	} else {
+		rec.ID = header
+	}
+	if rec.ID == "" {
+		return nil, &ParseError{Line: r.line, Msg: "empty record header"}
+	}
+	return rec, nil
+}
+
+func (r *Reader) readLine() (string, error) {
+	line, err := r.scanner.ReadString('\n')
+	if len(line) > 0 {
+		r.line++
+		return strings.TrimRight(line, "\r\n"), nil
+	}
+	return "", err
+}
+
+// ReadAll consumes every record from r.
+func ReadAll(r io.Reader) ([]*Record, error) {
+	fr := NewReader(r)
+	var out []*Record
+	for {
+		rec, err := fr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// ReadFile reads every record from a FASTA file on disk. Files ending
+// in ".gz" are transparently decompressed, as sequence databases are
+// customarily distributed gzipped.
+func ReadFile(path string) ([]*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("seqio: %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return ReadAll(r)
+}
+
+// LineWidth is the residue wrap width used by Write.
+const LineWidth = 70
+
+// Write emits records in FASTA format, wrapping sequence lines at
+// LineWidth columns.
+func Write(w io.Writer, recs ...*Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if rec.Description != "" {
+			fmt.Fprintf(bw, ">%s %s\n", rec.ID, rec.Description)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", rec.ID)
+		}
+		for off := 0; off < len(rec.Seq); off += LineWidth {
+			end := min(off+LineWidth, len(rec.Seq))
+			bw.Write(rec.Seq[off:end])
+			bw.WriteByte('\n')
+		}
+		if len(rec.Seq) == 0 {
+			// Keep a blank sequence line so the file round-trips record count.
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes records to a FASTA file, replacing it if present.
+func WriteFile(path string, recs ...*Record) error {
+	var buf bytes.Buffer
+	if err := Write(&buf, recs...); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

@@ -1,0 +1,236 @@
+package seqio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadSingleRecord(t *testing.T) {
+	in := ">sp|P1 test protein\nMKV\nLLA\n"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.ID != "sp|P1" || r.Description != "test protein" {
+		t.Errorf("header parsed as ID=%q Desc=%q", r.ID, r.Description)
+	}
+	if string(r.Seq) != "MKVLLA" {
+		t.Errorf("Seq = %q, want MKVLLA", r.Seq)
+	}
+}
+
+func TestReadMultipleRecords(t *testing.T) {
+	in := ">a\nAC\n>b descr here\nGT\nAC\n>c\nTTT"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[1].ID != "b" || recs[1].Description != "descr here" {
+		t.Errorf("record b parsed as %+v", recs[1])
+	}
+	if string(recs[2].Seq) != "TTT" {
+		t.Errorf("record c seq = %q (no trailing newline case)", recs[2].Seq)
+	}
+}
+
+func TestReadSkipsBlankLinesAndWhitespace(t *testing.T) {
+	in := "\n\n>x\nA C\tG\r\n\nT\n"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(recs[0].Seq) != "ACGT" {
+		t.Errorf("Seq = %q, want ACGT", recs[0].Seq)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("ACGT\n")); err == nil {
+		t.Error("data before header accepted")
+	}
+	if _, err := ReadAll(strings.NewReader(">\nACGT\n")); err == nil {
+		t.Error("empty header accepted")
+	}
+	var pe *ParseError
+	_, err := ReadAll(strings.NewReader("junk"))
+	if e, ok := err.(*ParseError); ok {
+		pe = e
+	} else {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if !strings.Contains(pe.Error(), "line 1") {
+		t.Errorf("error %q should carry the line number", pe.Error())
+	}
+}
+
+func TestReadEmptyInput(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("got %d records from empty input", len(recs))
+	}
+}
+
+func TestReaderStreaming(t *testing.T) {
+	r := NewReader(strings.NewReader(">a\nAA\n>b\nCC\n"))
+	first, err := r.Next()
+	if err != nil || first.ID != "a" {
+		t.Fatalf("first: %v %v", first, err)
+	}
+	second, err := r.Next()
+	if err != nil || second.ID != "b" {
+		t.Fatalf("second: %v %v", second, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestWriteWrapsLines(t *testing.T) {
+	seq := bytes.Repeat([]byte{'A'}, LineWidth+5)
+	var buf bytes.Buffer
+	if err := Write(&buf, &Record{ID: "long", Seq: seq}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 sequence lines", len(lines))
+	}
+	if len(lines[1]) != LineWidth || len(lines[2]) != 5 {
+		t.Errorf("wrap widths %d,%d", len(lines[1]), len(lines[2]))
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := []*Record{
+		{ID: "p1", Description: "first seq", Seq: []byte("MKVLLA")},
+		{ID: "p2", Seq: bytes.Repeat([]byte{'W'}, 200)},
+		{ID: "empty"},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs...); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip %d records, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i].ID != recs[i].ID ||
+			back[i].Description != recs[i].Description ||
+			string(back[i].Seq) != string(recs[i].Seq) {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bank.fa")
+	recs := []*Record{{ID: "x", Seq: []byte("ACGT")}}
+	if err := WriteFile(path, recs...); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || string(back[0].Seq) != "ACGT" {
+		t.Errorf("file round trip got %+v", back)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.fa")); !os.IsNotExist(err) {
+		t.Errorf("missing file error = %v, want IsNotExist", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	letters := []byte("ACDEFGHIKLMNPQRSTVWY")
+	f := func(raw []byte, n uint8) bool {
+		nrec := int(n%4) + 1
+		var recs []*Record
+		for i := 0; i < nrec; i++ {
+			seq := make([]byte, len(raw))
+			for j, b := range raw {
+				seq[j] = letters[int(b)%len(letters)]
+			}
+			recs = append(recs, &Record{ID: string(rune('a' + i)), Seq: seq})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, recs...); err != nil {
+			return false
+		}
+		back, err := ReadAll(&buf)
+		if err != nil || len(back) != nrec {
+			return false
+		}
+		for i := range recs {
+			if string(back[i].Seq) != string(recs[i].Seq) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsEmbeddedHeaderChar(t *testing.T) {
+	// Regression (found by FuzzReader): a '>' inside sequence data must
+	// be rejected, or write/read round trips change the record count.
+	if _, err := ReadAll(strings.NewReader(">a\nACGT>b\n")); err == nil {
+		t.Error("embedded '>' accepted in sequence data")
+	}
+}
+
+func TestReadFileGzip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bank.fa.gz")
+	var raw bytes.Buffer
+	gz := gzip.NewWriter(&raw)
+	if _, err := gz.Write([]byte(">a\nMKVL\n>b\nWWWW\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0].Seq) != "MKVL" {
+		t.Errorf("gzip read got %+v", recs)
+	}
+	// A .gz file that is not gzipped must error cleanly.
+	bad := filepath.Join(dir, "bad.fa.gz")
+	if err := os.WriteFile(bad, []byte(">a\nMKVL\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("non-gzip .gz accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package seqio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReader checks that arbitrary input never panics the parser and
+// that every successfully parsed record set round-trips through Write.
+func FuzzReader(f *testing.F) {
+	f.Add(">a\nACGT\n")
+	f.Add(">a desc\nAC\nGT\n>b\nTTTT\n")
+	f.Add("")
+	f.Add(">\n")
+	f.Add("junk before header\n>a\nAC\n")
+	f.Add(">a\r\nAC GT\t\r\n\n>b x y\nA\n")
+	f.Add(">only-header\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ReadAll(strings.NewReader(in))
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		for _, r := range recs {
+			if r.ID == "" {
+				t.Fatal("parsed record with empty ID")
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, recs...); err != nil {
+			t.Fatalf("Write failed on parsed records: %v", err)
+		}
+		back, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip changed record count: %d vs %d", len(back), len(recs))
+		}
+		for i := range recs {
+			if string(back[i].Seq) != string(recs[i].Seq) {
+				t.Fatalf("record %d sequence changed", i)
+			}
+		}
+	})
+}

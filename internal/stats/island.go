@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"seedblast/internal/alphabet"
+	"seedblast/internal/matrix"
+)
+
+// Gapped Karlin-Altschul parameters cannot be derived analytically;
+// NCBI ships simulated constants (GappedBLOSUM62). This file implements
+// the island method of Altschul et al. (2001): aligning random
+// sequences, the local-alignment score landscape decomposes into
+// "islands" (connected regions of positive score); island peak scores
+// S ≥ t follow P(S ≥ s) ∝ e^{-λs}, giving
+//
+//	λ̂ = ln(1 + 1/(mean(S) - t))        (lattice MLE, span 1)
+//	K̂ = #islands(S ≥ t) · e^{λ̂·t} / Σ(m·n)
+//
+// The estimator lets users calibrate arbitrary matrix/gap-cost
+// combinations instead of relying on shipped constants.
+
+// IslandConfig parameterises EstimateGapped.
+type IslandConfig struct {
+	Matrix  *matrix.Matrix
+	GapOpen int // positive cost; opening a length-L gap costs Open + L·Extend
+	GapExt  int
+	SeqLen  int   // random sequence length per side (default 400)
+	Pairs   int   // number of random pairs aligned (default 30)
+	Cutoff  int   // island peak threshold t (default 25)
+	Seed    int64 // RNG seed; fixed seed ⇒ deterministic estimate
+}
+
+func (c IslandConfig) withDefaults() IslandConfig {
+	if c.SeqLen == 0 {
+		c.SeqLen = 400
+	}
+	if c.Pairs == 0 {
+		c.Pairs = 30
+	}
+	if c.Cutoff == 0 {
+		c.Cutoff = 25
+	}
+	return c
+}
+
+// EstimateGapped estimates gapped λ and K with the island method. H is
+// approximated by evaluating the ungapped relative-entropy formula at
+// the estimated λ (gaps contribute little to H at BLAST-like costs).
+func EstimateGapped(cfg IslandConfig) (Params, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Matrix == nil {
+		return Params{}, fmt.Errorf("stats: island estimation requires a matrix")
+	}
+	if cfg.GapOpen <= 0 || cfg.GapExt <= 0 {
+		return Params{}, fmt.Errorf("stats: gap costs must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	freqs := matrix.RobinsonFrequencies()
+	cdf := makeCDF(freqs)
+
+	var peaks []int
+	area := 0
+	for p := 0; p < cfg.Pairs; p++ {
+		a := randomSeq(rng, cdf, cfg.SeqLen)
+		b := randomSeq(rng, cdf, cfg.SeqLen)
+		peaks = append(peaks, islandPeaks(a, b, cfg)...)
+		area += cfg.SeqLen * cfg.SeqLen
+	}
+
+	var above []int
+	for _, s := range peaks {
+		if s >= cfg.Cutoff {
+			above = append(above, s)
+		}
+	}
+	if len(above) < 10 {
+		return Params{}, fmt.Errorf("stats: only %d islands above cutoff %d — increase Pairs/SeqLen or lower Cutoff",
+			len(above), cfg.Cutoff)
+	}
+	sort.Ints(above)
+	var sum float64
+	for _, s := range above {
+		sum += float64(s)
+	}
+	mean := sum / float64(len(above))
+	lambda := math.Log(1 + 1/(mean-float64(cfg.Cutoff)))
+	k := float64(len(above)) * math.Exp(lambda*float64(cfg.Cutoff)) / float64(area)
+
+	// H via the ungapped entropy at the estimated λ.
+	d := newScoreDist(cfg.Matrix, freqs)
+	h := entropy(d, lambda)
+	return Params{Lambda: lambda, K: k, H: h}, nil
+}
+
+func makeCDF(freqs *[alphabet.NumStandardAA]float64) []float64 {
+	cdf := make([]float64, alphabet.NumStandardAA)
+	var cum float64
+	for i, p := range freqs {
+		cum += p
+		cdf[i] = cum
+	}
+	cdf[len(cdf)-1] = 1
+	return cdf
+}
+
+func randomSeq(rng *rand.Rand, cdf []float64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		u := rng.Float64()
+		for c, v := range cdf {
+			if u <= v {
+				out[i] = byte(c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// islandPeaks runs an affine-gap Smith-Waterman over one random pair,
+// tracking which island each positive cell belongs to, and returns the
+// peak score of every island. Island identity propagates along the
+// traceback predecessor of each cell (including through gap states).
+func islandPeaks(a, b []byte, cfg IslandConfig) []int {
+	openExt := int32(cfg.GapOpen + cfg.GapExt)
+	ext := int32(cfg.GapExt)
+	table := cfg.Matrix.Table()
+	const ninf = int32(-1 << 28)
+
+	n := len(b)
+	h := make([]int32, n+1)
+	e := make([]int32, n+1)
+	hID := make([]int32, n+1) // island of H[i][j] (0 = none)
+	eID := make([]int32, n+1)
+	for j := range e {
+		e[j] = ninf
+	}
+	peaks := []int32{0} // peaks[id] = max score of island id; id 0 unused
+	nextID := int32(1)
+
+	for i := 1; i <= len(a); i++ {
+		row := table[int(a[i-1])*24 : int(a[i-1])*24+24]
+		var diag int32
+		var diagID int32
+		f := ninf
+		var fID int32
+		for j := 1; j <= n; j++ {
+			up, upID := h[j], hID[j]
+			val := diag + int32(row[b[j-1]])
+			srcID := diagID
+			if e[j] > val {
+				val = e[j]
+				srcID = eID[j]
+			}
+			if f > val {
+				val = f
+				srcID = fID
+			}
+			diag, diagID = up, upID
+			if val <= 0 {
+				h[j] = 0
+				hID[j] = 0
+			} else {
+				if srcID == 0 {
+					// New island born at this cell.
+					srcID = nextID
+					nextID++
+					peaks = append(peaks, 0)
+				}
+				h[j] = val
+				hID[j] = srcID
+				if val > peaks[srcID] {
+					peaks[srcID] = val
+				}
+			}
+			// Gap state updates inherit the island of their source.
+			if e[j]-ext >= h[j]-openExt {
+				e[j] -= ext
+			} else {
+				e[j] = h[j] - openExt
+				eID[j] = hID[j]
+			}
+			if f-ext >= h[j]-openExt {
+				f -= ext
+			} else {
+				f = h[j] - openExt
+				fID = hID[j]
+			}
+		}
+	}
+	out := make([]int, 0, len(peaks)-1)
+	for _, s := range peaks[1:] {
+		if s > 0 {
+			out = append(out, int(s))
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"testing"
+
+	"seedblast/internal/matrix"
+)
+
+func TestEstimateGappedBLOSUM62(t *testing.T) {
+	// The island estimate for BLOSUM62 11/1 must land near NCBI's
+	// simulated constants λ=0.267, K=0.041. The estimator is statistical;
+	// the fixed seed makes the run deterministic and the bounds generous.
+	p, err := EstimateGapped(IslandConfig{
+		Matrix:  matrix.BLOSUM62,
+		GapOpen: 11,
+		GapExt:  1,
+		SeqLen:  300,
+		Pairs:   40,
+		Cutoff:  22,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lambda < 0.20 || p.Lambda > 0.34 {
+		t.Errorf("gapped λ̂ = %.4f, want ≈ 0.267", p.Lambda)
+	}
+	if p.K < 0.004 || p.K > 0.4 {
+		t.Errorf("gapped K̂ = %.4f, want ≈ 0.041", p.K)
+	}
+	if p.H <= 0 {
+		t.Errorf("H = %f", p.H)
+	}
+	t.Logf("island estimate: λ=%.4f K=%.4f H=%.4f (published: 0.267 / 0.041 / 0.14)",
+		p.Lambda, p.K, p.H)
+}
+
+func TestEstimateGappedDeterministic(t *testing.T) {
+	cfg := IslandConfig{
+		Matrix: matrix.BLOSUM62, GapOpen: 11, GapExt: 1,
+		SeqLen: 150, Pairs: 15, Cutoff: 20, Seed: 3,
+	}
+	a, err := EstimateGapped(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateGapped(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different estimates")
+	}
+}
+
+func TestEstimateGappedCheaperGapsLowerLambda(t *testing.T) {
+	// Cheaper gaps make high scores easier, so λ must drop.
+	expensive, err := EstimateGapped(IslandConfig{
+		Matrix: matrix.BLOSUM62, GapOpen: 11, GapExt: 1,
+		SeqLen: 250, Pairs: 25, Cutoff: 20, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap, err := EstimateGapped(IslandConfig{
+		Matrix: matrix.BLOSUM62, GapOpen: 6, GapExt: 1,
+		SeqLen: 250, Pairs: 25, Cutoff: 20, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.Lambda >= expensive.Lambda {
+		t.Errorf("cheap-gap λ %.4f should be below expensive-gap λ %.4f",
+			cheap.Lambda, expensive.Lambda)
+	}
+}
+
+func TestEstimateGappedValidation(t *testing.T) {
+	if _, err := EstimateGapped(IslandConfig{GapOpen: 11, GapExt: 1}); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := EstimateGapped(IslandConfig{Matrix: matrix.BLOSUM62}); err == nil {
+		t.Error("zero gap costs accepted")
+	}
+	// Impossible cutoff → too few islands.
+	if _, err := EstimateGapped(IslandConfig{
+		Matrix: matrix.BLOSUM62, GapOpen: 11, GapExt: 1,
+		SeqLen: 50, Pairs: 2, Cutoff: 500, Seed: 1,
+	}); err == nil {
+		t.Error("hopeless cutoff accepted")
+	}
+}
+
+func TestIslandPeaksIdenticalSequences(t *testing.T) {
+	// Two identical sequences have one dominant island whose peak is the
+	// full self-alignment score.
+	cfg := IslandConfig{Matrix: matrix.BLOSUM62, GapOpen: 11, GapExt: 1}
+	rng := makeCDF(matrix.RobinsonFrequencies())
+	_ = rng
+	seq := []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9} // ARNDCQEGHI
+	peaks := islandPeaks(seq, seq, cfg)
+	self := 0
+	for _, c := range seq {
+		self += matrix.BLOSUM62.Score(c, c)
+	}
+	best := 0
+	for _, p := range peaks {
+		if p > best {
+			best = p
+		}
+	}
+	if best != self {
+		t.Errorf("dominant island peak %d, want self score %d", best, self)
+	}
+}

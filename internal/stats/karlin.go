@@ -1,0 +1,260 @@
+// Package stats implements Karlin-Altschul statistics for local
+// alignment scores: the λ and H parameters solved numerically from the
+// scoring system, the K constant from the 1990 series formula, bit
+// scores and E-values. These drive the E ≤ 10⁻³ filter the paper uses
+// when comparing against NCBI tblastn.
+package stats
+
+import (
+	"errors"
+	"math"
+
+	"seedblast/internal/alphabet"
+	"seedblast/internal/matrix"
+)
+
+// Params holds the Karlin-Altschul parameters of a scoring system.
+type Params struct {
+	Lambda float64 // scale of the score distribution (nats per score unit)
+	K      float64 // search-space constant
+	H      float64 // relative entropy per aligned pair (nats)
+}
+
+// GappedBLOSUM62 are NCBI's published empirical parameters for BLOSUM62
+// with gap open 11 / gap extend 1 — gapped λ and K cannot be derived
+// analytically, so BLAST (and this package) uses the simulated constants.
+var GappedBLOSUM62 = Params{Lambda: 0.267, K: 0.041, H: 0.14}
+
+// ErrNoSolution indicates the scoring system admits no positive λ —
+// this happens when the expected score is non-negative or no positive
+// score exists, making local alignment statistics undefined.
+var ErrNoSolution = errors.New("stats: scoring system has no valid lambda (expected score must be negative and a positive score must exist)")
+
+// scoreDist is the probability distribution of the score of one aligned
+// residue pair under independent background frequencies.
+type scoreDist struct {
+	low, high int
+	prob      []float64 // prob[s-low] = P(score == s)
+}
+
+func newScoreDist(m *matrix.Matrix, freqs *[alphabet.NumStandardAA]float64) *scoreDist {
+	low, high := math.MaxInt32, math.MinInt32
+	for a := 0; a < alphabet.NumStandardAA; a++ {
+		for b := 0; b < alphabet.NumStandardAA; b++ {
+			s := m.Score(byte(a), byte(b))
+			if s < low {
+				low = s
+			}
+			if s > high {
+				high = s
+			}
+		}
+	}
+	d := &scoreDist{low: low, high: high, prob: make([]float64, high-low+1)}
+	for a := 0; a < alphabet.NumStandardAA; a++ {
+		for b := 0; b < alphabet.NumStandardAA; b++ {
+			s := m.Score(byte(a), byte(b))
+			d.prob[s-low] += freqs[a] * freqs[b]
+		}
+	}
+	// Normalise to guard against frequency rounding.
+	var sum float64
+	for _, p := range d.prob {
+		sum += p
+	}
+	for i := range d.prob {
+		d.prob[i] /= sum
+	}
+	return d
+}
+
+func (d *scoreDist) mean() float64 {
+	var e float64
+	for i, p := range d.prob {
+		e += p * float64(d.low+i)
+	}
+	return e
+}
+
+// span returns the lattice span δ: the greatest common divisor of all
+// score offsets with non-zero probability.
+func (d *scoreDist) span() int {
+	g := 0
+	for i, p := range d.prob {
+		if p > 0 && d.low+i != 0 {
+			g = gcd(g, abs(d.low+i))
+		}
+	}
+	if g == 0 {
+		g = 1
+	}
+	return g
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Calibrate solves the ungapped Karlin-Altschul parameters for a
+// substitution matrix under the given background frequencies.
+func Calibrate(m *matrix.Matrix, freqs *[alphabet.NumStandardAA]float64) (Params, error) {
+	d := newScoreDist(m, freqs)
+	if d.mean() >= 0 || d.high <= 0 {
+		return Params{}, ErrNoSolution
+	}
+	lambda := solveLambda(d)
+	h := entropy(d, lambda)
+	k := karlinK(d, lambda, h)
+	return Params{Lambda: lambda, K: k, H: h}, nil
+}
+
+// solveLambda finds the unique positive root of Σ p(s)·e^{λs} = 1 by
+// bisection followed by Newton refinement. The root exists and is unique
+// because the moment generating function is convex, equals 1 at λ=0 with
+// negative derivative (mean < 0), and diverges as λ→∞ (positive scores
+// exist).
+func solveLambda(d *scoreDist) float64 {
+	phi := func(lambda float64) float64 {
+		var sum float64
+		for i, p := range d.prob {
+			if p > 0 {
+				sum += p * math.Exp(lambda*float64(d.low+i))
+			}
+		}
+		return sum - 1
+	}
+	lo, hi := 0.0, 1.0
+	for phi(hi) < 0 {
+		hi *= 2
+		if hi > 1e4 {
+			break
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-14; i++ {
+		mid := (lo + hi) / 2
+		if phi(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// entropy computes H = λ · Σ p(s)·s·e^{λs}, the relative entropy of the
+// aligned-pair distribution in nats.
+func entropy(d *scoreDist, lambda float64) float64 {
+	var sum float64
+	for i, p := range d.prob {
+		if p > 0 {
+			s := float64(d.low + i)
+			sum += p * s * math.Exp(lambda*s)
+		}
+	}
+	return lambda * sum
+}
+
+// karlinK evaluates the K constant with the series formula of Karlin &
+// Altschul (1990) for lattice score distributions:
+//
+//	K = δ·λ·exp(-2σ) / (H·(1-exp(-λδ)))
+//	σ = Σ_{k≥1} (1/k)·( P(S_k ≥ 0) + E[e^{λ·S_k}; S_k < 0] )
+//
+// where S_k is the k-step random walk of pair scores and δ the lattice
+// span. The walk distributions are computed by exact convolution; the
+// series is truncated when its terms fall below 1e-10 (they decay
+// geometrically since the walk drifts to -∞).
+func karlinK(d *scoreDist, lambda, h float64) float64 {
+	delta := float64(d.span())
+	const maxIter = 80
+	// walk[s-lowK] = P(S_k == s) for the current k.
+	low, high := d.low, d.high
+	walk := append([]float64(nil), d.prob...)
+	walkLow := low
+	var sigma float64
+	for k := 1; k <= maxIter; k++ {
+		var term float64
+		for i, p := range walk {
+			if p == 0 {
+				continue
+			}
+			s := walkLow + i
+			if s >= 0 {
+				term += p
+			} else {
+				term += p * math.Exp(lambda*float64(s))
+			}
+		}
+		sigma += term / float64(k)
+		if term/float64(k) < 1e-10 {
+			break
+		}
+		// Convolve one more step.
+		next := make([]float64, len(walk)+high-low)
+		for i, p := range walk {
+			if p == 0 {
+				continue
+			}
+			for j, q := range d.prob {
+				if q > 0 {
+					next[i+j] += p * q
+				}
+			}
+		}
+		walk = next
+		walkLow += low
+	}
+	return delta * lambda * math.Exp(-2*sigma) / (h * (1 - math.Exp(-lambda*delta)))
+}
+
+// BitScore converts a raw score to a normalised bit score.
+func (p Params) BitScore(raw int) float64 {
+	return (p.Lambda*float64(raw) - math.Log(p.K)) / math.Ln2
+}
+
+// EValue returns the expected number of chance alignments scoring at
+// least raw in a search space of query length m and database length n,
+// using effective lengths corrected by the standard length adjustment.
+func (p Params) EValue(raw, m, n int) float64 {
+	em, en := p.EffectiveLengths(m, n)
+	return p.K * float64(em) * float64(en) * math.Exp(-p.Lambda*float64(raw))
+}
+
+// RawScoreForEValue returns the minimal raw score whose E-value in an
+// (m, n) search space is at most target. Used to derive report cutoffs.
+func (p Params) RawScoreForEValue(target float64, m, n int) int {
+	em, en := p.EffectiveLengths(m, n)
+	s := (math.Log(p.K*float64(em)*float64(en)) - math.Log(target)) / p.Lambda
+	return int(math.Ceil(s))
+}
+
+// EffectiveLengths applies the BLAST length adjustment
+// l = ln(K·m·n)/H, clamping so at least 1/8 of each length remains.
+func (p Params) EffectiveLengths(m, n int) (int, int) {
+	if m <= 0 || n <= 0 || p.H <= 0 {
+		return max(m, 1), max(n, 1)
+	}
+	l := int(math.Log(p.K*float64(m)*float64(n)) / p.H)
+	if l < 0 {
+		l = 0
+	}
+	em := m - l
+	if em < m/8+1 {
+		em = m/8 + 1
+	}
+	en := n - l
+	if en < n/8+1 {
+		en = n/8 + 1
+	}
+	return em, en
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"seedblast/internal/matrix"
+)
+
+func calibrated(t *testing.T) Params {
+	t.Helper()
+	p, err := Calibrate(matrix.BLOSUM62, matrix.RobinsonFrequencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLambdaBLOSUM62(t *testing.T) {
+	// NCBI reports ungapped λ ≈ 0.3176 for BLOSUM62 with its standard
+	// background; under Robinson frequencies the solution is close.
+	p := calibrated(t)
+	if p.Lambda < 0.25 || p.Lambda > 0.40 {
+		t.Errorf("lambda = %f, want ≈ 0.32", p.Lambda)
+	}
+}
+
+func TestLambdaSolvesMGF(t *testing.T) {
+	p := calibrated(t)
+	d := newScoreDist(matrix.BLOSUM62, matrix.RobinsonFrequencies())
+	var sum float64
+	for i, q := range d.prob {
+		sum += q * math.Exp(p.Lambda*float64(d.low+i))
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Σp·e^{λs} = %.12f, want 1", sum)
+	}
+}
+
+func TestEntropyBLOSUM62(t *testing.T) {
+	// NCBI reports H ≈ 0.40 nats for ungapped BLOSUM62.
+	p := calibrated(t)
+	if p.H < 0.25 || p.H > 0.70 {
+		t.Errorf("H = %f, want ≈ 0.4", p.H)
+	}
+}
+
+func TestKBLOSUM62(t *testing.T) {
+	// NCBI reports K ≈ 0.134 for ungapped BLOSUM62; the series formula
+	// should land in the same region.
+	p := calibrated(t)
+	if p.K < 0.02 || p.K > 0.5 {
+		t.Errorf("K = %f, want ≈ 0.13", p.K)
+	}
+}
+
+func TestCalibrateMatchMismatch(t *testing.T) {
+	// For match/mismatch scoring the parameters are well conditioned and
+	// λ must satisfy the MGF identity.
+	m := matrix.NewMatchMismatch(1, -1)
+	p, err := Calibrate(m, matrix.RobinsonFrequencies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lambda <= 0 || p.K <= 0 || p.H <= 0 {
+		t.Errorf("parameters must be positive: %+v", p)
+	}
+}
+
+func TestCalibrateRejectsPositiveExpectation(t *testing.T) {
+	// An all-positive matrix has no λ.
+	m := matrix.NewMatchMismatch(5, 1)
+	if _, err := Calibrate(m, matrix.RobinsonFrequencies()); err == nil {
+		t.Error("Calibrate accepted a positive-expectation matrix")
+	}
+}
+
+func TestBitScoreMonotone(t *testing.T) {
+	p := calibrated(t)
+	if p.BitScore(50) <= p.BitScore(40) {
+		t.Error("bit score must increase with raw score")
+	}
+	// λ·s − ln K in bits.
+	want := (p.Lambda*100 - math.Log(p.K)) / math.Ln2
+	if math.Abs(p.BitScore(100)-want) > 1e-12 {
+		t.Error("BitScore formula mismatch")
+	}
+}
+
+func TestEValueBehaviour(t *testing.T) {
+	p := calibrated(t)
+	const m, n = 300, 1_000_000
+	if p.EValue(100, m, n) <= p.EValue(120, m, n) {
+		t.Error("E-value must decrease with score")
+	}
+	if p.EValue(50, m, n) < p.EValue(50, m, n/10)*8 {
+		t.Error("E-value must grow roughly linearly with search space")
+	}
+}
+
+func TestRawScoreForEValueInverse(t *testing.T) {
+	p := calibrated(t)
+	const m, n = 300, 1_000_000
+	for _, target := range []float64{10, 1e-3, 1e-10} {
+		s := p.RawScoreForEValue(target, m, n)
+		if e := p.EValue(s, m, n); e > target*1.0001 {
+			t.Errorf("score %d for target %g has E=%g", s, target, e)
+		}
+		if e := p.EValue(s-1, m, n); e <= target {
+			t.Errorf("score %d already meets target %g; cutoff not minimal", s-1, target)
+		}
+	}
+}
+
+func TestEffectiveLengthsShrinkButStayPositive(t *testing.T) {
+	p := calibrated(t)
+	em, en := p.EffectiveLengths(300, 1_000_000)
+	if em >= 300 || en >= 1_000_000 {
+		t.Errorf("effective lengths (%d,%d) should be shorter", em, en)
+	}
+	if em <= 0 || en <= 0 {
+		t.Errorf("effective lengths must stay positive: (%d,%d)", em, en)
+	}
+	// Tiny sequences must not collapse to zero.
+	em, en = p.EffectiveLengths(5, 7)
+	if em <= 0 || en <= 0 {
+		t.Errorf("tiny effective lengths (%d,%d)", em, en)
+	}
+}
+
+func TestScoreDistSpan(t *testing.T) {
+	d := newScoreDist(matrix.BLOSUM62, matrix.RobinsonFrequencies())
+	if d.span() != 1 {
+		t.Errorf("BLOSUM62 span = %d, want 1", d.span())
+	}
+	// A matrix with only even scores has span 2.
+	m := matrix.NewMatchMismatch(2, -2)
+	d2 := newScoreDist(m, matrix.RobinsonFrequencies())
+	if d2.span() != 2 {
+		t.Errorf("even matrix span = %d, want 2", d2.span())
+	}
+}
+
+func TestScoreDistNormalised(t *testing.T) {
+	d := newScoreDist(matrix.BLOSUM62, matrix.RobinsonFrequencies())
+	var sum float64
+	for _, p := range d.prob {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("distribution sums to %.15f", sum)
+	}
+	if d.low != -4 || d.high != 11 {
+		t.Errorf("support [%d,%d], want [-4,11]", d.low, d.high)
+	}
+}
+
+func TestGappedBLOSUM62Published(t *testing.T) {
+	g := GappedBLOSUM62
+	if g.Lambda != 0.267 || g.K != 0.041 {
+		t.Errorf("gapped params changed: %+v", g)
+	}
+}

@@ -1,0 +1,115 @@
+package translate
+
+import (
+	"fmt"
+
+	"seedblast/internal/alphabet"
+)
+
+// Code is a genetic code: a mapping from codons to protein codes.
+// The zero value is invalid; use StandardCode, BacterialCode,
+// VertebrateMitoCode or NewCode.
+type Code struct {
+	name  string
+	table [64]byte
+}
+
+// NewCode builds a genetic code from a 64-letter amino-acid string in
+// codon index order n0·16 + n1·4 + n2 over nucleotide codes
+// A=0 C=1 G=2 T=3, with '*' for stops (the NCBI transl_table layout
+// re-ordered to this package's base order).
+func NewCode(name, letters string) (*Code, error) {
+	if len(letters) != 64 {
+		return nil, fmt.Errorf("translate: code %q has %d letters, want 64", name, len(letters))
+	}
+	c := &Code{name: name}
+	for i := 0; i < 64; i++ {
+		aa, err := alphabet.EncodeProtein(letters[i : i+1])
+		if err != nil {
+			return nil, fmt.Errorf("translate: code %q: %v", name, err)
+		}
+		c.table[i] = aa[0]
+	}
+	return c, nil
+}
+
+func mustCode(name, letters string) *Code {
+	c, err := NewCode(name, letters)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the code's name.
+func (c *Code) Name() string { return c.name }
+
+// Codon translates one codon under this code; codons containing N
+// translate to X.
+func (c *Code) Codon(n0, n1, n2 byte) byte {
+	if n0 >= alphabet.NucN || n1 >= alphabet.NucN || n2 >= alphabet.NucN {
+		return alphabet.Xaa
+	}
+	return c.table[int(n0)<<4|int(n1)<<2|int(n2)]
+}
+
+// Translate translates an encoded DNA sequence in frame 0 under this
+// code.
+func (c *Code) Translate(dna []byte) []byte {
+	out := make([]byte, 0, len(dna)/3)
+	for i := 0; i+2 < len(dna); i += 3 {
+		out = append(out, c.Codon(dna[i], dna[i+1], dna[i+2]))
+	}
+	return out
+}
+
+// SixFrames translates all six reading frames under this code.
+func (c *Code) SixFrames(dna []byte) [6]FrameTranslation {
+	var out [6]FrameTranslation
+	rc := alphabet.ReverseComplement(dna)
+	for i, f := range Frames {
+		strand := dna
+		if f < 0 {
+			strand = rc
+		}
+		off := int(abs8(f)) - 1
+		if off > len(strand) {
+			off = len(strand)
+		}
+		out[i] = FrameTranslation{Frame: f, Protein: c.Translate(strand[off:])}
+	}
+	return out
+}
+
+// StandardCode is NCBI transl_table=1, the code the package-level
+// functions use.
+var StandardCode = mustCode("standard", codonTable)
+
+// BacterialCode is NCBI transl_table=11. Its codon→amino-acid mapping
+// is identical to the standard code (the tables differ only in which
+// codons may initiate translation, which does not affect similarity
+// search); it exists so annotation pipelines can name the code they
+// mean.
+var BacterialCode = mustCode("bacterial", codonTable)
+
+// VertebrateMitoCode is NCBI transl_table=2: AGA and AGG become stops,
+// ATA codes methionine and TGA codes tryptophan.
+var VertebrateMitoCode = mustCode("vertebrate-mitochondrial",
+	"KNKNTTTT*S*SMIMI"+ // A..: AGA/AGG→*, ATA→M
+		"QHQHPPPPRRRRLLLL"+ // C..
+		"EDEDAAAAGGGGVVVV"+ // G..
+		"*Y*YSSSSWCWCLFLF") // T..: TGA→W
+
+// CodeByName resolves a genetic code by the names used in CLI flags.
+func CodeByName(name string) (*Code, error) {
+	switch name {
+	case "", "standard", "1":
+		return StandardCode, nil
+	case "bacterial", "11":
+		return BacterialCode, nil
+	case "vertebrate-mitochondrial", "mito", "2":
+		return VertebrateMitoCode, nil
+	default:
+		return nil, fmt.Errorf("translate: unknown genetic code %q (standard, bacterial, vertebrate-mitochondrial)", name)
+	}
+}

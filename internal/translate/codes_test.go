@@ -1,0 +1,127 @@
+package translate
+
+import (
+	"testing"
+
+	"seedblast/internal/alphabet"
+)
+
+func codonOf(t *testing.T, c *Code, dna string) string {
+	t.Helper()
+	codes := alphabet.MustEncodeDNA(dna)
+	return alphabet.DecodeProtein([]byte{c.Codon(codes[0], codes[1], codes[2])})
+}
+
+func TestStandardCodeMatchesPackageFunctions(t *testing.T) {
+	for n0 := byte(0); n0 < 4; n0++ {
+		for n1 := byte(0); n1 < 4; n1++ {
+			for n2 := byte(0); n2 < 4; n2++ {
+				if StandardCode.Codon(n0, n1, n2) != Codon(n0, n1, n2) {
+					t.Fatalf("StandardCode disagrees with Codon at %d%d%d", n0, n1, n2)
+				}
+			}
+		}
+	}
+}
+
+func TestBacterialCodeSameMapping(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		if BacterialCode.table[i] != StandardCode.table[i] {
+			t.Fatal("bacterial mapping must equal standard (start codons only differ)")
+		}
+	}
+	if BacterialCode.Name() == StandardCode.Name() {
+		t.Error("codes should be distinguishable by name")
+	}
+}
+
+func TestVertebrateMitoDifferences(t *testing.T) {
+	// The four documented differences of transl_table=2.
+	diffs := []struct{ codon, std, mito string }{
+		{"AGA", "R", "*"},
+		{"AGG", "R", "*"},
+		{"ATA", "I", "M"},
+		{"TGA", "*", "W"},
+	}
+	for _, d := range diffs {
+		if got := codonOf(t, StandardCode, d.codon); got != d.std {
+			t.Errorf("standard %s = %s, want %s", d.codon, got, d.std)
+		}
+		if got := codonOf(t, VertebrateMitoCode, d.codon); got != d.mito {
+			t.Errorf("mito %s = %s, want %s", d.codon, got, d.mito)
+		}
+	}
+	// Every other codon agrees with the standard code.
+	changed := 0
+	for i := 0; i < 64; i++ {
+		if VertebrateMitoCode.table[i] != StandardCode.table[i] {
+			changed++
+		}
+	}
+	if changed != 4 {
+		t.Errorf("%d codons differ from standard, want exactly 4", changed)
+	}
+}
+
+func TestCodeSixFramesAgainstPackage(t *testing.T) {
+	dna := alphabet.MustEncodeDNA("ACGTTGCAAGGTACCGATTACAGCTAGGA")
+	std := SixFrames(dna)
+	viaCode := StandardCode.SixFrames(dna)
+	for i := range std {
+		if string(std[i].Protein) != string(viaCode[i].Protein) {
+			t.Fatalf("frame %s differs between package and StandardCode", std[i].Frame)
+		}
+	}
+}
+
+func TestCodeWithN(t *testing.T) {
+	if VertebrateMitoCode.Codon(alphabet.NucN, 0, 0) != alphabet.Xaa {
+		t.Error("N-containing codon should be X")
+	}
+}
+
+func TestNewCodeValidation(t *testing.T) {
+	if _, err := NewCode("short", "KNKN"); err == nil {
+		t.Error("short table accepted")
+	}
+	bad := make([]byte, 64)
+	for i := range bad {
+		bad[i] = '!'
+	}
+	if _, err := NewCode("bad", string(bad)); err == nil {
+		t.Error("invalid letters accepted")
+	}
+}
+
+func TestCodeByName(t *testing.T) {
+	cases := map[string]*Code{
+		"":                         StandardCode,
+		"standard":                 StandardCode,
+		"1":                        StandardCode,
+		"bacterial":                BacterialCode,
+		"11":                       BacterialCode,
+		"mito":                     VertebrateMitoCode,
+		"2":                        VertebrateMitoCode,
+		"vertebrate-mitochondrial": VertebrateMitoCode,
+	}
+	for name, want := range cases {
+		got, err := CodeByName(name)
+		if err != nil || got != want {
+			t.Errorf("CodeByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := CodeByName("klingon"); err == nil {
+		t.Error("unknown code accepted")
+	}
+}
+
+func TestMitoTranslation(t *testing.T) {
+	// ATA AGA TGA under mito: M * W; under standard: I R *.
+	dna := alphabet.MustEncodeDNA("ATAAGATGA")
+	if got := alphabet.DecodeProtein(VertebrateMitoCode.Translate(dna)); got != "M*W" {
+		t.Errorf("mito translation = %s, want M*W", got)
+	}
+	if got := alphabet.DecodeProtein(StandardCode.Translate(dna)); got != "IR*" {
+		t.Errorf("standard translation = %s, want IR*", got)
+	}
+}

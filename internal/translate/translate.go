@@ -1,0 +1,133 @@
+// Package translate implements the standard genetic code and the
+// six-frame translation a tblastn-style search needs: the genome is
+// translated into its 6 possible protein frames and the resulting
+// proteins are compared against the query bank, with coordinates mapped
+// back to the nucleotide sequence for reporting.
+package translate
+
+import (
+	"fmt"
+
+	"seedblast/internal/alphabet"
+)
+
+// codonTable lists the standard genetic code (NCBI transl_table=1) with
+// codon index n0*16 + n1*4 + n2 over nucleotide codes A=0 C=1 G=2 T=3.
+const codonTable = "KNKNTTTTRSRSIIMI" + // A..
+	"QHQHPPPPRRRRLLLL" + // C..
+	"EDEDAAAAGGGGVVVV" + // G..
+	"*Y*YSSSS*CWCLFLF" //   T..
+
+// codonCode holds the protein code for each codon index.
+var codonCode [64]byte
+
+func init() {
+	for i := 0; i < 64; i++ {
+		codonCode[i] = alphabet.MustEncodeProtein(codonTable[i : i+1])[0]
+	}
+}
+
+// Codon translates one codon of nucleotide codes into a protein code.
+// Any codon containing N translates to X.
+func Codon(n0, n1, n2 byte) byte {
+	if n0 >= alphabet.NucN || n1 >= alphabet.NucN || n2 >= alphabet.NucN {
+		return alphabet.Xaa
+	}
+	return codonCode[int(n0)<<4|int(n1)<<2|int(n2)]
+}
+
+// Translate translates an encoded DNA sequence in reading frame 0
+// (starting at the first base). Trailing bases that do not fill a codon
+// are ignored. Stops translate to the '*' code, as tblastn requires.
+func Translate(dna []byte) []byte {
+	out := make([]byte, 0, len(dna)/3)
+	for i := 0; i+2 < len(dna); i += 3 {
+		out = append(out, Codon(dna[i], dna[i+1], dna[i+2]))
+	}
+	return out
+}
+
+// Frame identifies one of the six reading frames: +1, +2, +3 on the
+// forward strand and -1, -2, -3 on the reverse complement, matching
+// BLAST's frame numbering.
+type Frame int8
+
+// Frames lists all six frames in canonical order.
+var Frames = [6]Frame{1, 2, 3, -1, -2, -3}
+
+// String formats the frame as BLAST does (e.g. "+2", "-1").
+func (f Frame) String() string {
+	if f > 0 {
+		return fmt.Sprintf("+%d", int8(f))
+	}
+	return fmt.Sprintf("%d", int8(f))
+}
+
+// Valid reports whether f is one of the six reading frames.
+func (f Frame) Valid() bool {
+	return f >= -3 && f <= 3 && f != 0
+}
+
+// FrameTranslation is the protein translation of one reading frame.
+type FrameTranslation struct {
+	Frame   Frame
+	Protein []byte // encoded protein codes, stops included as '*'
+}
+
+// SixFrames translates an encoded DNA sequence into its six reading
+// frames. This is the genome-side preprocessing of the paper's workflow.
+func SixFrames(dna []byte) [6]FrameTranslation {
+	var out [6]FrameTranslation
+	rc := alphabet.ReverseComplement(dna)
+	for i, f := range Frames {
+		strand := dna
+		if f < 0 {
+			strand = rc
+		}
+		off := int(abs8(f)) - 1
+		if off > len(strand) {
+			off = len(strand)
+		}
+		out[i] = FrameTranslation{Frame: f, Protein: Translate(strand[off:])}
+	}
+	return out
+}
+
+func abs8(f Frame) int8 {
+	if f < 0 {
+		return -int8(f)
+	}
+	return int8(f)
+}
+
+// CodonStart maps a protein position within a reading frame back to the
+// forward-strand coordinate (0-based) of the first base of its codon.
+// genomeLen is the full nucleotide length of the sequence the frame was
+// translated from.
+func CodonStart(f Frame, aaPos, genomeLen int) int {
+	off := int(abs8(f)) - 1
+	if f > 0 {
+		return off + 3*aaPos
+	}
+	// Position on the reverse-complement strand, then flipped: the codon
+	// occupies forward coordinates [L - rcStart - 3, L - rcStart).
+	rcStart := off + 3*aaPos
+	return genomeLen - rcStart - 3
+}
+
+// ProteinPos is the inverse of CodonStart for the forward strand base
+// nucPos known to be the first base of a codon in frame f. It returns
+// the protein position, or -1 if nucPos is not a codon start in f.
+func ProteinPos(f Frame, nucPos, genomeLen int) int {
+	off := int(abs8(f)) - 1
+	var rel int
+	if f > 0 {
+		rel = nucPos - off
+	} else {
+		rel = genomeLen - nucPos - 3 - off
+	}
+	if rel < 0 || rel%3 != 0 {
+		return -1
+	}
+	return rel / 3
+}

@@ -1,0 +1,243 @@
+package translate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seedblast/internal/alphabet"
+)
+
+func tr(t *testing.T, dna string) string {
+	t.Helper()
+	return alphabet.DecodeProtein(Translate(alphabet.MustEncodeDNA(dna)))
+}
+
+func TestStandardCodeKnownCodons(t *testing.T) {
+	cases := map[string]string{
+		"ATG": "M",
+		"TGG": "W",
+		"TAA": "*",
+		"TAG": "*",
+		"TGA": "*",
+		"TTT": "F",
+		"AAA": "K",
+		"GGG": "G",
+		"GCT": "A",
+		"CGA": "R",
+		"AGC": "S",
+		"ATA": "I",
+		"CAT": "H",
+		"GAT": "D",
+		"GAA": "E",
+		"CAA": "Q",
+		"TGT": "C",
+		"TAT": "Y",
+		"CCC": "P",
+		"ACG": "T",
+		"AAT": "N",
+		"GTT": "V",
+		"CTG": "L",
+	}
+	for dna, want := range cases {
+		if got := tr(t, dna); got != want {
+			t.Errorf("Translate(%s) = %s, want %s", dna, got, want)
+		}
+	}
+}
+
+func TestCodeCoversAll64Codons(t *testing.T) {
+	// Count each amino acid's codons and check the well-known degeneracy.
+	counts := make(map[byte]int)
+	for a := byte(0); a < 4; a++ {
+		for b := byte(0); b < 4; b++ {
+			for c := byte(0); c < 4; c++ {
+				counts[Codon(a, b, c)]++
+			}
+		}
+	}
+	var total int
+	for _, n := range counts {
+		total += n
+	}
+	if total != 64 {
+		t.Fatalf("codon count = %d", total)
+	}
+	wants := map[string]int{
+		"M": 1, "W": 1, "*": 3, "L": 6, "R": 6, "S": 6,
+		"A": 4, "G": 4, "P": 4, "T": 4, "V": 4, "I": 3,
+		"F": 2, "K": 2, "N": 2, "D": 2, "E": 2, "H": 2,
+		"Q": 2, "Y": 2, "C": 2,
+	}
+	for letter, want := range wants {
+		code := alphabet.MustEncodeProtein(letter)[0]
+		if counts[code] != want {
+			t.Errorf("%s has %d codons, want %d", letter, counts[code], want)
+		}
+	}
+}
+
+func TestCodonWithN(t *testing.T) {
+	if got := Codon(alphabet.NucN, alphabet.NucA, alphabet.NucA); got != alphabet.Xaa {
+		t.Errorf("N-containing codon = %d, want Xaa", got)
+	}
+}
+
+func TestTranslateDropsPartialCodon(t *testing.T) {
+	if got := tr(t, "ATGAA"); got != "M" {
+		t.Errorf("Translate(ATGAA) = %q, want M", got)
+	}
+	if got := tr(t, "AT"); got != "" {
+		t.Errorf("Translate(AT) = %q, want empty", got)
+	}
+}
+
+func TestSixFramesKnownSequence(t *testing.T) {
+	// ATGGCC: +1 = MA; reverse complement is GGCCAT: -1 = GH.
+	dna := alphabet.MustEncodeDNA("ATGGCC")
+	frames := SixFrames(dna)
+	got := map[Frame]string{}
+	for _, ft := range frames {
+		got[ft.Frame] = alphabet.DecodeProtein(ft.Protein)
+	}
+	if got[1] != "MA" {
+		t.Errorf("frame +1 = %q, want MA", got[1])
+	}
+	if got[2] != "W" { // TGGCC -> TGG = W
+		t.Errorf("frame +2 = %q, want W", got[2])
+	}
+	if got[3] != "G" { // GGCC -> GGC = G
+		t.Errorf("frame +3 = %q, want G", got[3])
+	}
+	if got[-1] != "GH" { // GGCCAT -> GGC CAT
+		t.Errorf("frame -1 = %q, want GH", got[-1])
+	}
+}
+
+func TestSixFramesShortSequence(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4} {
+		dna := make([]byte, n)
+		frames := SixFrames(dna)
+		for _, ft := range frames {
+			want := 0
+			avail := n - (int(abs8(ft.Frame)) - 1)
+			if avail >= 3 {
+				want = avail / 3
+			}
+			if len(ft.Protein) != want {
+				t.Errorf("len=%d frame %s: %d aa, want %d", n, ft.Frame, len(ft.Protein), want)
+			}
+		}
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	if Frame(1).String() != "+1" || Frame(-3).String() != "-3" {
+		t.Errorf("frame formatting: %s %s", Frame(1), Frame(-3))
+	}
+	if Frame(0).Valid() || Frame(4).Valid() || !Frame(-2).Valid() {
+		t.Error("Frame.Valid boundary wrong")
+	}
+}
+
+func TestCodonStartForward(t *testing.T) {
+	// Frame +2 on a 12-base genome: aa 0 covers bases 1..3.
+	if got := CodonStart(2, 0, 12); got != 1 {
+		t.Errorf("CodonStart(+2, 0) = %d, want 1", got)
+	}
+	if got := CodonStart(1, 3, 12); got != 9 {
+		t.Errorf("CodonStart(+1, 3) = %d, want 9", got)
+	}
+}
+
+func TestCodonStartReverse(t *testing.T) {
+	// Frame -1 on a 6-base genome: aa 0 is the last codon on the forward
+	// strand, bases 3..5.
+	if got := CodonStart(-1, 0, 6); got != 3 {
+		t.Errorf("CodonStart(-1, 0) = %d, want 3", got)
+	}
+	if got := CodonStart(-1, 1, 6); got != 0 {
+		t.Errorf("CodonStart(-1, 1) = %d, want 0", got)
+	}
+	if got := CodonStart(-2, 0, 7); got != 3 {
+		t.Errorf("CodonStart(-2, 0) = %d, want 3", got)
+	}
+}
+
+func TestCodonStartProteinPosInverse(t *testing.T) {
+	f := func(frameIdx uint8, aaPos uint16, extra uint8) bool {
+		frame := Frames[int(frameIdx)%6]
+		pos := int(aaPos % 500)
+		genomeLen := 3*(pos+1) + int(abs8(frame)) - 1 + int(extra%3) + 1600
+		nuc := CodonStart(frame, pos, genomeLen)
+		return ProteinPos(frame, nuc, genomeLen) == pos
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProteinPosRejectsNonCodonStart(t *testing.T) {
+	if ProteinPos(1, 1, 30) != -1 {
+		t.Error("nucPos 1 is not a codon start in frame +1")
+	}
+	if ProteinPos(1, -3, 30) != -1 {
+		t.Error("negative position accepted")
+	}
+}
+
+func TestSixFramesAgainstDirectTranslation(t *testing.T) {
+	f := func(raw []byte) bool {
+		dna := make([]byte, len(raw))
+		for i, b := range raw {
+			dna[i] = b % 4
+		}
+		frames := SixFrames(dna)
+		rc := alphabet.ReverseComplement(dna)
+		for _, ft := range frames {
+			var want []byte
+			off := int(abs8(ft.Frame)) - 1
+			if ft.Frame > 0 {
+				if off <= len(dna) {
+					want = Translate(dna[off:])
+				}
+			} else {
+				if off <= len(rc) {
+					want = Translate(rc[off:])
+				}
+			}
+			if string(want) != string(ft.Protein) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodonStartConsistentWithTranslation(t *testing.T) {
+	// For every frame and every aa, translating the codon at CodonStart
+	// (on the right strand) must reproduce the frame translation.
+	dna := alphabet.MustEncodeDNA("ACGTTGCAAGGTACCGATTACAGCT")
+	rc := alphabet.ReverseComplement(dna)
+	frames := SixFrames(dna)
+	for _, ft := range frames {
+		for pos, aa := range ft.Protein {
+			start := CodonStart(ft.Frame, pos, len(dna))
+			var c0, c1, c2 byte
+			if ft.Frame > 0 {
+				c0, c1, c2 = dna[start], dna[start+1], dna[start+2]
+			} else {
+				// Reverse strand: the codon reads right-to-left complemented.
+				j := len(dna) - start - 3
+				c0, c1, c2 = rc[j], rc[j+1], rc[j+2]
+			}
+			if got := Codon(c0, c1, c2); got != aa {
+				t.Fatalf("frame %s aa %d: codon at %d translates to %c, want %c",
+					ft.Frame, pos, start,
+					alphabet.ProteinLetter(got), alphabet.ProteinLetter(aa))
+			}
+		}
+	}
+}

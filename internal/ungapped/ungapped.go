@@ -1,0 +1,152 @@
+// Package ungapped implements step 2 of the paper's algorithm on the
+// CPU: for every seed key, every pair formed from the two index lists
+// IL0 and IL1 is scored over its W+2N neighbourhood, and pairs whose
+// ungapped score reaches the threshold survive to the gapped stage.
+// This is the paper's critical section (97% of the software profile,
+// Table 1) and the computation the PSC operator parallelises; the
+// hardware simulator must produce bit-identical hits to this engine.
+package ungapped
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"seedblast/internal/align"
+	"seedblast/internal/index"
+	"seedblast/internal/matrix"
+)
+
+// Hit is a surviving seed pair: an occurrence in bank 0 and one in
+// bank 1 whose neighbourhood score reached the threshold.
+type Hit struct {
+	Key    uint32
+	E0     index.Entry
+	E1     index.Entry
+	Score  int32
+	SubLen int32 // neighbourhood window length, for downstream staging
+}
+
+// Config parameterises the ungapped stage.
+type Config struct {
+	Matrix    *matrix.Matrix
+	Threshold int // minimal window score to survive
+	Workers   int // 0 means GOMAXPROCS
+}
+
+// Result is the outcome of step 2.
+type Result struct {
+	Hits  []Hit
+	Pairs int64 // total K0×K1 pairs scored, the stage's work measure
+}
+
+// Run executes step 2 over two indexes built with the same seed model
+// and neighbourhood. Hits are returned in deterministic order (by key,
+// then IL0 position, then IL1 position) regardless of worker count.
+func Run(ix0, ix1 *index.Index, cfg Config) (*Result, error) {
+	if err := validate(ix0, ix1, &cfg); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	space := ix0.Model().KeySpace()
+	if workers > space {
+		workers = space
+	}
+
+	// Static partition of the key space: each worker owns a contiguous
+	// chunk, appends hits locally, and chunks are concatenated in order,
+	// keeping the result deterministic.
+	type chunk struct {
+		hits  []Hit
+		pairs int64
+	}
+	chunks := make([]chunk, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := space * w / workers
+			hi := space * (w + 1) / workers
+			chunks[w] = scanKeys(ix0, ix1, uint32(lo), uint32(hi), &cfg)
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{}
+	for _, c := range chunks {
+		res.Hits = append(res.Hits, c.hits...)
+		res.Pairs += c.pairs
+	}
+	return res, nil
+}
+
+func validate(ix0, ix1 *index.Index, cfg *Config) error {
+	if ix0.Model().KeySpace() != ix1.Model().KeySpace() ||
+		ix0.Model().Width() != ix1.Model().Width() {
+		return fmt.Errorf("ungapped: indexes built with different seed models (%s vs %s)",
+			ix0.Model().Name(), ix1.Model().Name())
+	}
+	if ix0.SubLen() != ix1.SubLen() {
+		return fmt.Errorf("ungapped: neighbourhood lengths differ (%d vs %d)",
+			ix0.SubLen(), ix1.SubLen())
+	}
+	if cfg.Matrix == nil {
+		return fmt.Errorf("ungapped: matrix is required")
+	}
+	if cfg.Threshold <= 0 {
+		return fmt.Errorf("ungapped: threshold must be positive, got %d", cfg.Threshold)
+	}
+	return nil
+}
+
+// scanKeys runs the paper's nested loops over keys [lo, hi).
+func scanKeys(ix0, ix1 *index.Index, lo, hi uint32, cfg *Config) (c struct {
+	hits  []Hit
+	pairs int64
+}) {
+	subLen := ix0.SubLen()
+	for k := lo; k < hi; k++ {
+		il0, hood0 := ix0.Bucket(k)
+		if len(il0) == 0 {
+			continue
+		}
+		il1, hood1 := ix1.Bucket(k)
+		if len(il1) == 0 {
+			continue
+		}
+		c.pairs += int64(len(il0)) * int64(len(il1))
+		for i := range il0 {
+			w0 := hood0[i*subLen : (i+1)*subLen]
+			for j := range il1 {
+				w1 := hood1[j*subLen : (j+1)*subLen]
+				score := align.WindowScore(w0, w1, cfg.Matrix)
+				if score >= cfg.Threshold {
+					c.hits = append(c.hits, Hit{
+						Key:    k,
+						E0:     il0[i],
+						E1:     il1[j],
+						Score:  int32(score),
+						SubLen: int32(subLen),
+					})
+				}
+			}
+		}
+	}
+	return c
+}
+
+// PairCount returns the total number of neighbourhood scorings step 2
+// must perform for the two indexes — Σk |IL0k|·|IL1k| — without
+// running them. The hardware simulator uses it for cross-checking.
+func PairCount(ix0, ix1 *index.Index) int64 {
+	var n int64
+	space := ix0.Model().KeySpace()
+	for k := 0; k < space; k++ {
+		n += int64(ix0.BucketLen(uint32(k))) * int64(ix1.BucketLen(uint32(k)))
+	}
+	return n
+}
