@@ -18,11 +18,13 @@ import (
 	"seedblast/internal/align"
 	"seedblast/internal/bank"
 	"seedblast/internal/blast"
+	"seedblast/internal/core"
 	"seedblast/internal/experiments"
 	"seedblast/internal/gapped"
 	"seedblast/internal/hwsim"
 	"seedblast/internal/index"
 	"seedblast/internal/matrix"
+	"seedblast/internal/pipeline"
 	"seedblast/internal/seed"
 	"seedblast/internal/ungapped"
 )
@@ -487,6 +489,61 @@ func BenchmarkPSCMicroEngine(b *testing.B) {
 		if _, err := op.StreamIL1(il1, 64); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- streaming shard engine vs batch -----------------------------------
+
+// BenchmarkStreamingOverlap compares the batch driver (steps strictly
+// sequential, core.CompareBatch) against the streaming shard engine at
+// 1, 2 and 4 shards in flight between stages. Every configuration
+// moves identical work with one worker per stage, so the reported
+// overlap_gain is purely the host/device-style stage overlap — step 3
+// of earlier shards running while step 2 of later shards is still
+// extending — not intra-stage parallelism. This is the perf baseline
+// for future pipeline PRs. (The gain exceeds 1 only with
+// GOMAXPROCS > 1; on one core it measures the engine's overhead.)
+func BenchmarkStreamingOverlap(b *testing.B) {
+	w, _, _ := workload(b)
+	bk := w.Banks[len(w.Banks)-1]
+	opt := core.DefaultOptions()
+	opt.Seed = w.Scale.SeedModel
+	opt.N = w.Scale.N
+	opt.UngappedThreshold = w.Scale.Threshold
+	opt.Workers = 1
+
+	var batchSec float64
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t0 := testingClock()
+			if _, err := core.CompareBatch(bk, w.Frames, opt); err != nil {
+				b.Fatal(err)
+			}
+			batchSec = testingClock() - t0
+		}
+	})
+	for _, inflight := range []int{1, 2, 4} {
+		inflight := inflight
+		b.Run(fmt.Sprintf("stream/inflight=%d", inflight), func(b *testing.B) {
+			sopt := opt
+			sopt.Pipeline = pipeline.Config{
+				ShardSize:    (bk.Len() + 7) / 8, // 8 shards
+				InFlight:     inflight,
+				Step2Workers: 1,
+				Step3Workers: 1,
+			}
+			var streamSec float64
+			for i := 0; i < b.N; i++ {
+				t0 := testingClock()
+				if _, err := core.Compare(bk, w.Frames, sopt); err != nil {
+					b.Fatal(err)
+				}
+				streamSec = testingClock() - t0
+			}
+			if batchSec > 0 && streamSec > 0 {
+				b.ReportMetric(batchSec/streamSec, "overlap_gain")
+			}
+		})
 	}
 }
 

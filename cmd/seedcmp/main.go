@@ -8,6 +8,7 @@
 //	seedcmp -proteins bank.fa -genome chr1.fa
 //	seedcmp -synthetic 100 -genome-len 1000000 -plant 10 -engine rasc -pes 192
 //	seedcmp -synthetic 20 -report   # full BLAST-style report with alignments
+//	seedcmp -synthetic 100 -shard-size 16 -inflight 2 -engine multi
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"seedblast"
 	"seedblast/internal/matrix"
@@ -32,7 +34,10 @@ func main() {
 		genomeLen    = flag.Int("genome-len", 500_000, "synthetic genome length in nucleotides (with -synthetic)")
 		plant        = flag.Int("plant", 10, "genes planted in the synthetic genome")
 		seed         = flag.Int64("seed", 1, "synthetic workload RNG seed")
-		engine       = flag.String("engine", "cpu", "step-2 engine: cpu or rasc")
+		engine       = flag.String("engine", "cpu", "step-2 engine: cpu, rasc, or multi (shards fanned across both)")
+		shardSize    = flag.Int("shard-size", 0, "stream the bank through the pipeline in shards of this many proteins (0 = one shard)")
+		inflight     = flag.Int("inflight", 2, "shards in flight between pipeline stages")
+		streamW      = flag.Int("stream-workers", 0, "concurrent shards per pipeline stage (0 = auto: 1, or one per backend with -engine multi)")
 		pes          = flag.Int("pes", 192, "PE array size (rasc engine)")
 		fpgas        = flag.Int("fpgas", 1, "FPGAs used (rasc engine, 1 or 2)")
 		offloadGap   = flag.Bool("offload-gapped", false, "simulate the future-work gap operator on the second FPGA")
@@ -66,8 +71,28 @@ func main() {
 		opt.RASC.NumPEs = *pes
 		opt.RASC.NumFPGAs = *fpgas
 		opt.RASC.OffloadGapped = *offloadGap
+	case "multi":
+		if *offloadGap {
+			log.Fatal("-offload-gapped requires -engine rasc (step 3 stays on the host under multi dispatch)")
+		}
+		opt.Engine = seedblast.EngineMulti
+		opt.RASC.NumPEs = *pes
+		opt.RASC.NumFPGAs = *fpgas
 	default:
-		log.Fatalf("unknown engine %q (cpu, rasc)", *engine)
+		log.Fatalf("unknown engine %q (cpu, rasc, multi)", *engine)
+	}
+	workers := *streamW
+	if workers <= 0 {
+		workers = 1
+		if opt.Engine == seedblast.EngineMulti {
+			workers = 2 // one in-flight shard per backend, so cpu and rasc run concurrently
+		}
+	}
+	opt.Pipeline = seedblast.PipelineConfig{
+		ShardSize:    *shardSize,
+		InFlight:     *inflight,
+		Step2Workers: workers,
+		Step3Workers: workers,
 	}
 
 	res, err := seedblast.CompareGenome(bank, genome, opt)
@@ -118,6 +143,18 @@ func printTiming(res *seedblast.GenomeResult) {
 	if res.GapDevice != nil {
 		fmt.Printf("gap operator: %d tasks, %.4fs simulated step 3\n",
 			res.GapDevice.Tasks, res.GapDevice.Seconds)
+	}
+	if pm := res.Pipeline; pm.Shards > 1 {
+		fmt.Printf("pipeline: %d shards, wall %v (busy: step1 %v, step2 %v, step3 %v)\n",
+			pm.Shards, pm.Wall, pm.Index.Busy, pm.Step2.Busy, pm.Step3.Busy)
+		names := make([]string, 0, len(pm.ShardsByBackend))
+		for name := range pm.ShardsByBackend {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  backend %s: %d shards\n", name, pm.ShardsByBackend[name])
+		}
 	}
 }
 

@@ -1,0 +1,3 @@
+module seedblast
+
+go 1.24

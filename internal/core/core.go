@@ -7,14 +7,21 @@
 //	step 2  ungapped extension — all seed pairs scored over W+2N windows
 //	step 3  gapped extension   — surviving pairs aligned with gaps
 //
-// Step 2 runs either on the CPU engine (package ungapped) or on the
-// simulated RASC-100 accelerator (package hwsim); results are
-// bit-identical between engines. CompareGenome adds the tblastn-style
-// workflow: the genome is translated into its six reading frames and
-// alignments are mapped back to nucleotide coordinates.
+// Step 2 runs either on the CPU engine (package ungapped), on the
+// simulated RASC-100 accelerator (package hwsim), or fanned out across
+// both (EngineMulti); results are bit-identical between engines.
+// Compare executes the steps through the streaming shard engine
+// (package pipeline): bank 0 flows through the stages in shards over
+// bounded channels, so host gapped extension overlaps device ungapped
+// extension. The zero Options.Pipeline runs one shard and reproduces
+// the historical batch behaviour (kept verbatim as CompareBatch)
+// bit-identically. CompareGenome adds the tblastn-style workflow: the
+// genome is translated into its six reading frames and alignments are
+// mapped back to nucleotide coordinates.
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,6 +30,7 @@ import (
 	"seedblast/internal/hwsim"
 	"seedblast/internal/index"
 	"seedblast/internal/matrix"
+	"seedblast/internal/pipeline"
 	"seedblast/internal/seed"
 	"seedblast/internal/translate"
 	"seedblast/internal/ungapped"
@@ -33,8 +41,9 @@ type Engine int
 
 // Engines.
 const (
-	EngineCPU  Engine = iota // parallel software engine
-	EngineRASC               // simulated RASC-100 accelerator
+	EngineCPU   Engine = iota // parallel software engine
+	EngineRASC                // simulated RASC-100 accelerator
+	EngineMulti               // shards fanned out across CPU and RASC
 )
 
 // String names the engine.
@@ -44,6 +53,8 @@ func (e Engine) String() string {
 		return "cpu"
 	case EngineRASC:
 		return "rasc"
+	case EngineMulti:
+		return "multi"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
 	}
@@ -102,6 +113,10 @@ type Options struct {
 	Engine            Engine
 	RASC              RASCOptions
 	Workers           int // CPU engine parallelism; 0 = GOMAXPROCS
+	// Pipeline tunes the streaming shard engine: shard size and how
+	// many shards each stage runs in flight. The zero value processes
+	// bank 0 as one shard, reproducing the batch path bit-identically.
+	Pipeline pipeline.Config
 	// GeneticCode selects the translation table for genome modes
 	// (tblastn/blastx/tblastx); nil means the standard code. Bacterial
 	// and vertebrate-mitochondrial codes are provided by package
@@ -132,7 +147,9 @@ func DefaultOptions() Options {
 
 // StepTimes records per-step durations. For the RASC engine, Ungapped
 // is the simulated accelerator time (cycles at the configured clock
-// plus DMA), not host wall time.
+// plus DMA), not host wall time. On a streaming run with several
+// shards in flight the steps overlap, so their sum can exceed the wall
+// time reported in Result.Pipeline.Wall.
 type StepTimes struct {
 	Index    time.Duration
 	Ungapped time.Duration
@@ -164,15 +181,125 @@ type Result struct {
 	Hits       int   // step-2 survivors
 	Pairs      int64 // step-2 scorings performed
 	Times      StepTimes
-	Device     *hwsim.Step2Report // non-nil when Engine == EngineRASC
+	Device     *hwsim.Step2Report // non-nil when shards ran on the accelerator
 	GapDevice  *hwsim.GapOpReport // non-nil when RASC.OffloadGapped
 	GappedWork gapped.Stats
 	Stats0     index.Stats
 	Stats1     index.Stats
+	// Pipeline reports the streaming engine's per-stage accounting:
+	// shard counts, per-stage busy times, wall time and (for
+	// EngineMulti) the dispatch split across backends.
+	Pipeline pipeline.Metrics
 }
 
-// Compare runs the full three-step pipeline on two protein banks.
+// Compare runs the full three-step pipeline on two protein banks
+// through the streaming shard engine. With the zero Options.Pipeline
+// the run is a single shard and the Result is bit-identical to
+// CompareBatch; with sharding enabled the alignment set is identical
+// up to order normalisation (the engine sorts stably by
+// (Seq0, EValue, Seq1)).
 func Compare(b0, b1 *bank.Bank, opt Options) (*Result, error) {
+	return CompareContext(context.Background(), b0, b1, opt)
+}
+
+// CompareContext is Compare with cancellation: when ctx is cancelled
+// the engine shuts every stage down promptly and returns ctx's error.
+func CompareContext(ctx context.Context, b0, b1 *bank.Bank, opt Options) (*Result, error) {
+	if opt.Seed == nil || opt.Matrix == nil {
+		return nil, fmt.Errorf("core: Seed and Matrix are required (use DefaultOptions)")
+	}
+	if opt.N < 0 {
+		return nil, fmt.Errorf("core: negative neighbourhood %d", opt.N)
+	}
+	backend, err := backendFor(&opt)
+	if err != nil {
+		return nil, err
+	}
+	gcfg := opt.Gapped
+	if gcfg.Matrix == nil {
+		gcfg = gapped.DefaultConfig()
+	}
+	gcfg.Workers = opt.Workers
+	eng, err := pipeline.New(opt.Pipeline, backend)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	out, err := eng.Run(ctx, &pipeline.Request{
+		Bank0:   b0,
+		Bank1:   b1,
+		Seed:    opt.Seed,
+		N:       opt.N,
+		Workers: opt.Workers,
+		Gapped:  gcfg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	res := &Result{
+		Alignments: out.Alignments,
+		Hits:       out.Hits,
+		Pairs:      out.Pairs,
+		Device:     out.Device,
+		GappedWork: out.GappedWork,
+		Stats0:     out.Stats0,
+		Stats1:     out.Stats1,
+		Pipeline:   out.Metrics,
+	}
+	res.Times.Index = out.IndexTime
+	res.Times.Ungapped = out.Step2Time
+	res.Times.Gapped = out.Step3Time
+	if opt.Engine == EngineRASC && out.Device != nil {
+		// Preserve the batch invariant: the step-2 time is derived from
+		// the (aggregated) device report's simulated seconds.
+		res.Times.Ungapped = time.Duration(out.Device.Seconds * float64(time.Second))
+	}
+	if opt.Engine == EngineRASC && opt.RASC.OffloadGapped {
+		gop := hwsim.DefaultGapOp(gcfg.Band)
+		if opt.RASC.ClockHz != 0 {
+			gop.ClockHz = opt.RASC.ClockHz
+		}
+		rep, err := gop.EstimateStep3(out.GappedWork)
+		if err != nil {
+			return nil, fmt.Errorf("core: step 3 (gap operator): %w", err)
+		}
+		res.GapDevice = rep
+		res.Times.Gapped = time.Duration(rep.Seconds * float64(time.Second))
+	}
+	return res, nil
+}
+
+// backendFor builds the step-2 backend for the selected engine.
+func backendFor(opt *Options) (pipeline.Backend, error) {
+	cpu := &pipeline.CPUBackend{
+		Matrix:    opt.Matrix,
+		Threshold: opt.UngappedThreshold,
+		Workers:   opt.Workers,
+	}
+	switch opt.Engine {
+	case EngineCPU:
+		return cpu, nil
+	case EngineRASC, EngineMulti:
+		dev, err := buildDevice(opt, opt.Seed.Width()+2*opt.N)
+		if err != nil {
+			return nil, err
+		}
+		rasc := &pipeline.RASCBackend{Device: dev}
+		if opt.Engine == EngineRASC {
+			return rasc, nil
+		}
+		return pipeline.NewMultiBackend(cpu, rasc)
+	default:
+		return nil, fmt.Errorf("core: unknown engine %v", opt.Engine)
+	}
+}
+
+// CompareBatch is the historical monolithic driver: both indexes built
+// up front, all of step 2 run to completion, then all of step 3. It is
+// retained as the reference implementation the streaming engine is
+// equivalence-tested and benchmarked against. New callers should use
+// Compare.
+func CompareBatch(b0, b1 *bank.Bank, opt Options) (*Result, error) {
 	if opt.Seed == nil || opt.Matrix == nil {
 		return nil, fmt.Errorf("core: Seed and Matrix are required (use DefaultOptions)")
 	}
@@ -224,7 +351,7 @@ func Compare(b0, b1 *bank.Bank, opt Options) (*Result, error) {
 		hits = rep.Hits
 		res.Pairs = rep.Pairs
 	default:
-		return nil, fmt.Errorf("core: unknown engine %v", opt.Engine)
+		return nil, fmt.Errorf("core: engine %v not supported by the batch path", opt.Engine)
 	}
 	res.Hits = len(hits)
 
@@ -300,12 +427,17 @@ type GenomeResult struct {
 // workflow), each frame becomes a subject sequence, and alignments are
 // reported in both protein and genome coordinates.
 func CompareGenome(proteins *bank.Bank, genome []byte, opt Options) (*GenomeResult, error) {
+	return CompareGenomeContext(context.Background(), proteins, genome, opt)
+}
+
+// CompareGenomeContext is CompareGenome with cancellation.
+func CompareGenomeContext(ctx context.Context, proteins *bank.Bank, genome []byte, opt Options) (*GenomeResult, error) {
 	frames := opt.code().SixFrames(genome)
 	fbank := bank.New("genome-frames")
 	for _, ft := range frames {
 		fbank.Add(ft.Frame.String(), ft.Protein)
 	}
-	res, err := Compare(proteins, fbank, opt)
+	res, err := CompareContext(ctx, proteins, fbank, opt)
 	if err != nil {
 		return nil, err
 	}

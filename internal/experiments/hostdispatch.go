@@ -1,14 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
+	"seedblast/internal/core"
 	"seedblast/internal/hwsim"
 	"seedblast/internal/index"
 	"seedblast/internal/matrix"
-	"seedblast/internal/ungapped"
+	"seedblast/internal/pipeline"
 )
 
 // HostDispatchRow answers the paper's closing question — "when such
@@ -24,7 +27,9 @@ type HostDispatchRow struct {
 }
 
 // RunHostDispatch measures step 2 on the host at several worker counts
-// and compares against the 192-PE device.
+// and compares against the 192-PE device. The host side runs through
+// the pipeline engine's CPU backend — the same code path the streaming
+// engine dispatches shards to.
 func RunHostDispatch(w *Workload, bankIdx int, workerCounts []int) ([]HostDispatchRow, error) {
 	if bankIdx < 0 || bankIdx >= len(w.Banks) {
 		return nil, fmt.Errorf("experiments: bank index %d out of range", bankIdx)
@@ -32,7 +37,8 @@ func RunHostDispatch(w *Workload, bankIdx int, workerCounts []int) ([]HostDispat
 	if len(workerCounts) == 0 {
 		workerCounts = []int{1, 2, 4, 8}
 	}
-	ixB, err := index.Build(w.Banks[bankIdx], w.Scale.SeedModel, w.Scale.N)
+	b := w.Banks[bankIdx]
+	ixB, err := index.Build(b, w.Scale.SeedModel, w.Scale.N)
 	if err != nil {
 		return nil, err
 	}
@@ -40,6 +46,7 @@ func RunHostDispatch(w *Workload, bankIdx int, workerCounts []int) ([]HostDispat
 	if err != nil {
 		return nil, err
 	}
+	shard := &pipeline.Shard{ID: 0, Start: 0, End: b.Len(), Bank: b, Index: ixB}
 
 	// Device side once: hits are worker-independent.
 	psc := hwsim.DefaultPSC(matrix.BLOSUM62, ixB.SubLen(), w.Scale.Threshold)
@@ -47,9 +54,9 @@ func RunHostDispatch(w *Workload, bankIdx int, workerCounts []int) ([]HostDispat
 	if err != nil {
 		return nil, err
 	}
-	ref, err := ungapped.Run(ixB, ixG, ungapped.Config{
+	ref, err := (&pipeline.CPUBackend{
 		Matrix: matrix.BLOSUM62, Threshold: w.Scale.Threshold, Workers: 1,
-	})
+	}).Step2(context.Background(), shard, ixG)
 	if err != nil {
 		return nil, err
 	}
@@ -60,20 +67,20 @@ func RunHostDispatch(w *Workload, bankIdx int, workerCounts []int) ([]HostDispat
 
 	var rows []HostDispatchRow
 	for _, workers := range workerCounts {
-		t0 := time.Now()
-		if _, err := ungapped.Run(ixB, ixG, ungapped.Config{
+		cpu := &pipeline.CPUBackend{
 			Matrix: matrix.BLOSUM62, Threshold: w.Scale.Threshold, Workers: workers,
-		}); err != nil {
+		}
+		out, err := cpu.Step2(context.Background(), shard, ixG)
+		if err != nil {
 			return nil, err
 		}
-		hostSec := time.Since(t0).Seconds()
 		row := HostDispatchRow{
 			Workers:   workers,
-			HostSec:   hostSec,
+			HostSec:   out.Elapsed.Seconds(),
 			DeviceSec: devRep.Seconds,
 		}
 		if devRep.Seconds > 0 {
-			row.Ratio = hostSec / devRep.Seconds
+			row.Ratio = row.HostSec / devRep.Seconds
 		}
 		rows = append(rows, row)
 	}
@@ -88,6 +95,151 @@ func FormatHostDispatch(rows []HostDispatchRow) string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%8d %12.3f %12.3f %10.2f\n",
 			r.Workers, r.HostSec, r.DeviceSec, r.Ratio)
+	}
+	return b.String()
+}
+
+// OverlapRow compares the batch pipeline (steps strictly sequential)
+// against the streaming shard engine at one shard count: the overlap
+// the paper's closing discussion points at, exploited rather than
+// merely measured.
+type OverlapRow struct {
+	Shards    int
+	ShardSize int
+	BatchSec  float64
+	StreamSec float64
+	Gain      float64 // BatchSec / StreamSec (>1: overlap wins)
+}
+
+// scaleOptions builds single-threaded pipeline options matching the
+// workload's scale, so batch and streamed runs move identical work.
+func scaleOptions(w *Workload) core.Options {
+	opt := core.DefaultOptions()
+	opt.Seed = w.Scale.SeedModel
+	opt.N = w.Scale.N
+	opt.UngappedThreshold = w.Scale.Threshold
+	opt.Workers = 1
+	return opt
+}
+
+// RunOverlap measures the bank-vs-genome comparison batch and then
+// streamed at each shard count (one shard in flight per stage, so the
+// win is pure stage overlap, not intra-stage parallelism).
+func RunOverlap(w *Workload, bankIdx int, shardCounts []int) ([]OverlapRow, error) {
+	if bankIdx < 0 || bankIdx >= len(w.Banks) {
+		return nil, fmt.Errorf("experiments: bank index %d out of range", bankIdx)
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{2, 4}
+	}
+	for _, n := range shardCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive shard count %d", n)
+		}
+	}
+	b := w.Banks[bankIdx]
+	opt := scaleOptions(w)
+
+	t0 := time.Now()
+	batch, err := core.CompareBatch(b, w.Frames, opt)
+	if err != nil {
+		return nil, err
+	}
+	batchSec := time.Since(t0).Seconds()
+
+	var rows []OverlapRow
+	for _, n := range shardCounts {
+		size := (b.Len() + n - 1) / n
+		opt.Pipeline = pipeline.Config{
+			ShardSize:    size,
+			InFlight:     2,
+			Step2Workers: 1,
+			Step3Workers: 1,
+		}
+		t := time.Now()
+		res, err := core.Compare(b, w.Frames, opt)
+		if err != nil {
+			return nil, err
+		}
+		streamSec := time.Since(t).Seconds()
+		if res.Hits != batch.Hits || res.Pairs != batch.Pairs {
+			return nil, fmt.Errorf("experiments: streamed run diverged (hits %d/%d, pairs %d/%d)",
+				res.Hits, batch.Hits, res.Pairs, batch.Pairs)
+		}
+		row := OverlapRow{
+			Shards:    res.Pipeline.Shards,
+			ShardSize: size,
+			BatchSec:  batchSec,
+			StreamSec: streamSec,
+		}
+		if streamSec > 0 {
+			row.Gain = batchSec / streamSec
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatOverlap renders the batch-vs-streaming table.
+func FormatOverlap(rows []OverlapRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Streaming overlap: batch pipeline vs shard engine (1 shard in flight per stage)\n")
+	fmt.Fprintf(&b, "%8s %12s %12s %12s %8s\n", "shards", "shard size", "batch (s)", "stream (s)", "gain")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %12d %12.3f %12.3f %8.2f\n",
+			r.Shards, r.ShardSize, r.BatchSec, r.StreamSec, r.Gain)
+	}
+	return b.String()
+}
+
+// MultiDispatchResult reports how the MultiBackend split shards
+// between the host CPU and the simulated accelerator — the dispatch
+// question answered greedily by whichever resource frees up first.
+type MultiDispatchResult struct {
+	Shards  int
+	WallSec float64
+	Split   map[string]int // backend name -> shards processed
+}
+
+// RunMultiDispatch streams one bank through the EngineMulti fan-out.
+func RunMultiDispatch(w *Workload, bankIdx, shards int) (*MultiDispatchResult, error) {
+	if bankIdx < 0 || bankIdx >= len(w.Banks) {
+		return nil, fmt.Errorf("experiments: bank index %d out of range", bankIdx)
+	}
+	if shards <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive shard count %d", shards)
+	}
+	b := w.Banks[bankIdx]
+	opt := scaleOptions(w)
+	opt.Engine = core.EngineMulti
+	opt.Pipeline = pipeline.Config{
+		ShardSize:    (b.Len() + shards - 1) / shards,
+		InFlight:     2,
+		Step2Workers: 2, // one in-flight shard per backend
+		Step3Workers: 1,
+	}
+	res, err := core.Compare(b, w.Frames, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiDispatchResult{
+		Shards:  res.Pipeline.Shards,
+		WallSec: res.Pipeline.Wall.Seconds(),
+		Split:   res.Pipeline.ShardsByBackend,
+	}, nil
+}
+
+// FormatMultiDispatch renders the fan-out split.
+func FormatMultiDispatch(r *MultiDispatchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-backend dispatch: %d shards in %.3fs wall\n", r.Shards, r.WallSec)
+	names := make([]string, 0, len(r.Split))
+	for name := range r.Split {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%10s: %d shards\n", name, r.Split[name])
 	}
 	return b.String()
 }

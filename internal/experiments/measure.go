@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,7 +10,7 @@ import (
 	"seedblast/internal/hwsim"
 	"seedblast/internal/index"
 	"seedblast/internal/matrix"
-	"seedblast/internal/ungapped"
+	"seedblast/internal/pipeline"
 )
 
 // DeviceTiming is the simulated accelerator timing for one
@@ -79,23 +80,33 @@ func (o MeasureOptions) withDefaults(base int) MeasureOptions {
 }
 
 // Measure runs the pipeline over every bank of the workload and
-// collects the raw numbers behind the tables. The software pipeline
-// runs sequentially (Workers=1), matching the paper's single-core
+// collects the raw numbers behind the tables. The software pipeline is
+// driven through the streaming shard engine pinned to one shard and
+// one worker per stage (Workers=1), matching the paper's single-core
 // methodology; accelerator timings come from the validated cycle model.
 func Measure(w *Workload, opt MeasureOptions) (*Measurements, error) {
 	opt = opt.withDefaults(w.Scale.Threshold)
 	ms := &Measurements{Workload: w, PECounts: opt.PECounts}
 
 	// The genome-side index does not depend on the bank: build once,
-	// but charge its (re)build to each bank's step 1 the way the
-	// paper's pipeline does by timing a fresh build for the first bank
-	// and reusing the measured duration.
+	// hand it to the engine via Request.Index1, and charge the measured
+	// build time to each bank's step 1 the way the paper's pipeline
+	// does.
 	tGenome := time.Now()
 	ixG, err := index.Build(w.Frames, w.Scale.SeedModel, w.Scale.N)
 	if err != nil {
 		return nil, err
 	}
 	genomeIndexSec := time.Since(tGenome).Seconds()
+
+	eng, err := pipeline.New(pipeline.Config{}, &pipeline.CPUBackend{
+		Matrix:    matrix.BLOSUM62,
+		Threshold: w.Scale.Threshold,
+		Workers:   1,
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	for bi, b := range w.Banks {
 		opt.Progress("bank %s (%d proteins)", b.Name(), b.Len())
@@ -108,7 +119,8 @@ func Measure(w *Workload, opt MeasureOptions) (*Measurements, error) {
 			OneFPGARaised: map[int]DeviceTiming{},
 		}
 
-		// Step 1: bank index (genome index time added once).
+		// Step 1: the bank-side index, built once — the engine reuses it
+		// (Request.Index0) and the estimator sweeps below reuse it again.
 		t0 := time.Now()
 		ixB, err := index.Build(b, w.Scale.SeedModel, w.Scale.N)
 		if err != nil {
@@ -116,30 +128,30 @@ func Measure(w *Workload, opt MeasureOptions) (*Measurements, error) {
 		}
 		m.Step1Sec = time.Since(t0).Seconds() + genomeIndexSec
 
-		// Step 2, sequential software.
-		t1 := time.Now()
-		res, err := ungapped.Run(ixB, ixG, ungapped.Config{
-			Matrix:    matrix.BLOSUM62,
-			Threshold: w.Scale.Threshold,
-			Workers:   1,
+		// Steps 2-3 through the engine; per-stage durations come from
+		// the engine's accounting. KeepHits retains the step-2 records
+		// for the raised-threshold traffic count below.
+		gcfg := gapped.DefaultConfig()
+		gcfg.Workers = 1
+		out, err := eng.Run(context.Background(), &pipeline.Request{
+			Bank0:    b,
+			Bank1:    w.Frames,
+			Seed:     w.Scale.SeedModel,
+			N:        w.Scale.N,
+			Workers:  1,
+			Gapped:   gcfg,
+			Index0:   ixB,
+			Index1:   ixG,
+			KeepHits: true,
 		})
 		if err != nil {
 			return nil, err
 		}
-		m.Step2SeqSec = time.Since(t1).Seconds()
-		m.Hits = len(res.Hits)
-		m.Pairs = res.Pairs
-
-		// Step 3.
-		t2 := time.Now()
-		gcfg := gapped.DefaultConfig()
-		gcfg.Workers = 1
-		_, gstats, err := gapped.RunWithStats(b, w.Frames, res.Hits, gcfg)
-		if err != nil {
-			return nil, err
-		}
-		m.Step3Sec = time.Since(t2).Seconds()
-		m.GapStats = gstats
+		m.Step2SeqSec = out.Step2Time.Seconds()
+		m.Step3Sec = out.Step3Time.Seconds()
+		m.Hits = out.Hits
+		m.Pairs = out.Pairs
+		m.GapStats = out.GappedWork
 
 		// Accelerator timings for every PE count (1 FPGA, base threshold).
 		for _, pes := range opt.PECounts {
@@ -151,7 +163,7 @@ func Measure(w *Workload, opt MeasureOptions) (*Measurements, error) {
 		}
 		// Table 3: raised threshold, 1 vs 2 FPGAs, largest PE count.
 		raisedRecords := 0
-		for _, h := range res.Hits {
+		for _, h := range out.UngappedHits {
 			if int(h.Score) >= opt.RaisedThreshold {
 				raisedRecords++
 			}

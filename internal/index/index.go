@@ -171,3 +171,34 @@ func (ix *Index) Stats() Stats {
 func (ix *Index) Neighborhood(ei int) []byte {
 	return ix.neighborhoods[ei*ix.subLen : (ei+1)*ix.subLen]
 }
+
+// AddBucketCounts adds this index's per-key bucket lengths into dst,
+// which must have KeySpace elements. The streaming engine builds one
+// index per query shard and merges their histograms with this to
+// recover the whole-bank statistics a monolithic build would report.
+func (ix *Index) AddBucketCounts(dst []uint32) {
+	for k := range dst {
+		dst[k] += ix.bucketStart[k+1] - ix.bucketStart[k]
+	}
+}
+
+// StatsFromBucketCounts computes the same summary as (*Index).Stats
+// from a per-key bucket-length histogram (e.g. one merged with
+// AddBucketCounts across shard indexes).
+func StatsFromBucketCounts(counts []uint32) Stats {
+	st := Stats{Keys: len(counts)}
+	for _, n := range counts {
+		if n == 0 {
+			continue
+		}
+		st.UsedKeys++
+		st.Entries += int(n)
+		if int(n) > st.MaxBucket {
+			st.MaxBucket = int(n)
+		}
+	}
+	if st.UsedKeys > 0 {
+		st.MeanOccupied = float64(st.Entries) / float64(st.UsedKeys)
+	}
+	return st
+}

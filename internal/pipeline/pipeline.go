@@ -1,0 +1,538 @@
+// Package pipeline implements a streaming, stage-based execution
+// engine for the paper's bank-vs-bank comparison. The monolithic batch
+// driver runs step 1 (indexing), step 2 (ungapped extension) and
+// step 3 (gapped extension) strictly in sequence, so the host sits
+// idle while the accelerator works and vice versa — exactly the
+// host/FPGA overlap opportunity the paper's closing discussion raises.
+//
+// The engine shards the query bank (bank 0) into batches of sequences
+// and flows each shard through the three steps over bounded channels:
+//
+//	sharder ──shardCh──▶ step-2 backend pool ──step2Ch──▶ step-3 pool
+//
+// Channel capacities bound the number of shards in flight, providing
+// backpressure; a context cancels the whole dataflow promptly and
+// leak-free. Where step 2 runs is abstracted behind Backend: the CPU
+// engine (package ungapped), the simulated RASC-100 accelerator
+// (package hwsim), or a MultiBackend that fans shards out across
+// several backends — the paper's multicore-plus-FPGA dispatch
+// question, answered in code.
+//
+// Sharding by query sequence preserves bit-identical results: every
+// (seq0, seq1) pair's hits land in exactly one shard, so step 3's
+// per-pair containment and dedup rules see the same hit groups in the
+// same order as the batch path, and the engine's final stable sort
+// reproduces the batch output ordering for the single-shard case.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/gapped"
+	"seedblast/internal/hwsim"
+	"seedblast/internal/index"
+	"seedblast/internal/seed"
+	"seedblast/internal/ungapped"
+)
+
+// Config tunes the engine. The zero value processes bank 0 as a single
+// shard with one shard in flight per stage — batch-equivalent
+// behaviour with batch-identical results.
+type Config struct {
+	// ShardSize is the number of bank-0 sequences per shard. Zero or
+	// negative processes the whole bank as one shard.
+	ShardSize int
+	// InFlight is the capacity of the bounded queues between stages;
+	// it caps how many finished shards can wait for the next stage
+	// before backpressure stalls the producer. Zero or negative means 1.
+	InFlight int
+	// Step2Workers is the number of shards extended concurrently in
+	// step 2 (each call may use further internal parallelism, e.g. the
+	// CPU backend's workers). Zero or negative means 1.
+	Step2Workers int
+	// Step3Workers is the number of shards gapped-extended concurrently
+	// in step 3. Zero or negative means 1.
+	Step3Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.InFlight <= 0 {
+		c.InFlight = 1
+	}
+	if c.Step2Workers <= 0 {
+		c.Step2Workers = 1
+	}
+	if c.Step3Workers <= 0 {
+		c.Step3Workers = 1
+	}
+	return c
+}
+
+// Shard is one unit of streaming work: a contiguous run of bank-0
+// sequences with its own step-1 index. Sequence numbers inside Index
+// are shard-local; the engine remaps step-2 hits into bank numbering
+// (by adding Start) before step 3.
+type Shard struct {
+	ID    int
+	Start int // first bank-0 sequence number in the shard
+	End   int // one past the last
+	Bank  *bank.Bank
+	Index *index.Index
+}
+
+// Request describes one comparison run.
+type Request struct {
+	Bank0 *bank.Bank // query bank, sharded by the engine
+	Bank1 *bank.Bank // subject bank, indexed once
+	Seed  seed.Model
+	N     int // neighbourhood extension; windows are W+2N
+
+	// Workers is the per-shard index-build parallelism (0 = GOMAXPROCS).
+	Workers int
+
+	// Gapped parameterises step 3; it is passed to gapped.RunWithStats
+	// unchanged and validated there.
+	Gapped gapped.Config
+
+	// Index1 optionally provides a prebuilt subject index (it must
+	// match Seed and N); experiments reuse one genome index across many
+	// banks this way. When nil the engine builds and times it.
+	Index1 *index.Index
+
+	// Index0 optionally provides a prebuilt whole-bank query index. It
+	// is only usable when the run is a single shard (Config.ShardSize
+	// disabled or >= the bank length) — a sharded run cuts bank 0
+	// itself — and must match Seed and N. Callers that already hold the
+	// index (e.g. for estimator sweeps) avoid a rebuild this way.
+	Index0 *index.Index
+
+	// KeepHits retains the step-2 hits in Output.UngappedHits
+	// (concatenated in shard order). Off by default: hit lists are the
+	// engine's largest intermediate and are normally consumed by step 3
+	// shard by shard.
+	KeepHits bool
+}
+
+// StageMetrics describes one stage's work.
+type StageMetrics struct {
+	Shards int           // shards the stage completed
+	Busy   time.Duration // summed host wall time spent processing
+}
+
+// Metrics is the engine's per-run accounting. Busy times are host wall
+// durations and can exceed Wall when stages overlap — that surplus is
+// the overlap the streaming design exists to win.
+type Metrics struct {
+	Shards          int           // shards planned
+	Wall            time.Duration // end-to-end engine wall time
+	Index           StageMetrics  // step 1: bank-1 index + shard index builds
+	Step2           StageMetrics
+	Step3           StageMetrics
+	ShardsByBackend map[string]int // step-2 dispatch split (MultiBackend)
+}
+
+// Output is the engine's result.
+type Output struct {
+	Alignments []gapped.Alignment // sorted by (Seq0, EValue, Seq1), stably
+	Hits       int                // step-2 survivors
+	Pairs      int64              // step-2 scorings performed
+	GappedWork gapped.Stats
+	Stats0     index.Stats // whole-bank statistics merged across shards
+	Stats1     index.Stats
+
+	// Step durations under the batch StepTimes semantics: IndexTime
+	// sums the subject-index and shard-index builds; Step2Time sums the
+	// backends' Elapsed (simulated seconds for the RASC backend, host
+	// wall for the CPU backend); Step3Time sums the gapped stage. On an
+	// overlapped run their sum exceeds Metrics.Wall.
+	IndexTime time.Duration
+	Step2Time time.Duration
+	Step3Time time.Duration
+
+	// Device aggregates the per-shard accelerator reports when the
+	// backend attached any (cycle and DMA totals summed, utilization
+	// cycle-weighted). With a single reporting shard it is that shard's
+	// report verbatim; aggregated multi-shard reports carry a nil Hits
+	// slice.
+	Device *hwsim.Step2Report
+
+	// UngappedHits holds the step-2 hits in shard order when
+	// Request.KeepHits is set.
+	UngappedHits []ungapped.Hit
+
+	Metrics Metrics
+}
+
+// Engine is a streaming shard-pipeline executor. An Engine is
+// stateless between runs and safe for sequential reuse.
+type Engine struct {
+	cfg     Config
+	backend Backend
+}
+
+// New validates the configuration and returns an engine.
+func New(cfg Config, backend Backend) (*Engine, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("pipeline: backend is required")
+	}
+	return &Engine{cfg: cfg.withDefaults(), backend: backend}, nil
+}
+
+// Backend returns the engine's step-2 backend.
+func (e *Engine) Backend() Backend { return e.backend }
+
+// Run executes the request. On cancellation it returns the context's
+// error after every stage goroutine has shut down — no goroutines
+// outlive the call.
+func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
+	if req == nil || req.Bank0 == nil || req.Bank1 == nil {
+		return nil, fmt.Errorf("pipeline: request needs both banks")
+	}
+	if req.Seed == nil {
+		return nil, fmt.Errorf("pipeline: seed model is required")
+	}
+	if req.N < 0 {
+		return nil, fmt.Errorf("pipeline: negative neighbourhood %d", req.N)
+	}
+	start := time.Now()
+	ctx, cancel := context.WithCancel(pctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		met      Metrics
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	// Subject index: built once and shared by every shard (or provided
+	// by the caller and reused across runs).
+	ix1 := req.Index1
+	if ix1 == nil {
+		t0 := time.Now()
+		var err error
+		ix1, err = index.BuildParallel(req.Bank1, req.Seed, req.N, req.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: indexing bank 1: %w", err)
+		}
+		met.Index.Busy += time.Since(t0)
+	} else if ix1.Model().KeySpace() != req.Seed.KeySpace() || ix1.N() != req.N {
+		return nil, fmt.Errorf("pipeline: provided bank-1 index (keys=%d N=%d) does not match request (keys=%d N=%d)",
+			ix1.Model().KeySpace(), ix1.N(), req.Seed.KeySpace(), req.N)
+	}
+
+	shards := planShards(req.Bank0.Len(), e.cfg.ShardSize)
+	met.Shards = len(shards)
+	if req.Index0 != nil {
+		if len(shards) > 1 {
+			return nil, fmt.Errorf("pipeline: provided bank-0 index is unusable on a sharded run (%d shards)", len(shards))
+		}
+		if req.Index0.Model().KeySpace() != req.Seed.KeySpace() || req.Index0.N() != req.N {
+			return nil, fmt.Errorf("pipeline: provided bank-0 index (keys=%d N=%d) does not match request (keys=%d N=%d)",
+				req.Index0.Model().KeySpace(), req.Index0.N(), req.Seed.KeySpace(), req.N)
+		}
+	}
+
+	shardCh := make(chan *Shard, e.cfg.InFlight)
+	step2Ch := make(chan *Step2Output, e.cfg.InFlight)
+
+	// Stage 1 — sharder: cut bank 0 into shards and build each shard's
+	// index. Bounded shardCh stalls this stage once the step-2 pool
+	// falls behind.
+	merger := newStatsMerger(req.Seed.KeySpace())
+	go func() {
+		defer close(shardCh)
+		for id, rg := range shards {
+			if ctx.Err() != nil {
+				return
+			}
+			t0 := time.Now()
+			sh, err := buildShard(req, id, rg[0], rg[1])
+			d := time.Since(t0)
+			mu.Lock()
+			met.Index.Shards++
+			met.Index.Busy += d
+			mu.Unlock()
+			if err != nil {
+				fail(fmt.Errorf("pipeline: shard %d index: %w", id, err))
+				return
+			}
+			merger.add(sh.Index)
+			select {
+			case shardCh <- sh:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Stage 2 — backend pool: ungapped extension on the CPU engine, the
+	// simulated accelerator, or a fan-out across both.
+	var wg2 sync.WaitGroup
+	for w := 0; w < e.cfg.Step2Workers; w++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			for sh := range shardCh {
+				if ctx.Err() != nil {
+					continue // drain so the sharder can exit
+				}
+				t0 := time.Now()
+				r, err := e.backend.Step2(ctx, sh, ix1)
+				d := time.Since(t0)
+				if err != nil {
+					fail(fmt.Errorf("pipeline: step 2, shard %d (%s): %w", sh.ID, e.backend.Name(), err))
+					continue
+				}
+				// Remap shard-local sequence numbers to bank-0 numbering.
+				if sh.Start != 0 {
+					for i := range r.Hits {
+						r.Hits[i].E0.Seq += uint32(sh.Start)
+					}
+				}
+				mu.Lock()
+				met.Step2.Shards++
+				met.Step2.Busy += d
+				if r.Backend != "" {
+					if met.ShardsByBackend == nil {
+						met.ShardsByBackend = make(map[string]int)
+					}
+					met.ShardsByBackend[r.Backend]++
+				}
+				mu.Unlock()
+				select {
+				case step2Ch <- r:
+				case <-ctx.Done():
+				}
+			}
+		}()
+	}
+	go func() { wg2.Wait(); close(step2Ch) }()
+
+	// Stage 3 — gapped extension on the host. Because every (seq0,
+	// seq1) pair's hits live in exactly one shard, per-pair containment
+	// and dedup behave exactly as in the batch path.
+	type shardOut struct {
+		aligns []gapped.Alignment
+		gstats gapped.Stats
+		hits   []ungapped.Hit
+		nHits  int
+		pairs  int64
+		device *hwsim.Step2Report
+		step2  time.Duration
+		step3  time.Duration
+	}
+	outs := make([]shardOut, len(shards))
+	var wg3 sync.WaitGroup
+	for w := 0; w < e.cfg.Step3Workers; w++ {
+		wg3.Add(1)
+		go func() {
+			defer wg3.Done()
+			for r := range step2Ch {
+				if ctx.Err() != nil {
+					continue
+				}
+				t0 := time.Now()
+				as, gs, err := gapped.RunWithStats(req.Bank0, req.Bank1, r.Hits, req.Gapped)
+				d := time.Since(t0)
+				if err != nil {
+					fail(fmt.Errorf("pipeline: step 3, shard %d: %w", r.Shard.ID, err))
+					continue
+				}
+				mu.Lock()
+				met.Step3.Shards++
+				met.Step3.Busy += d
+				mu.Unlock()
+				so := &outs[r.Shard.ID]
+				so.aligns, so.gstats = as, gs
+				so.nHits, so.pairs = len(r.Hits), r.Pairs
+				so.device = r.Device
+				so.step2, so.step3 = r.Elapsed, d
+				if req.KeepHits {
+					so.hits = r.Hits
+				}
+			}
+		}()
+	}
+	// All stage goroutines form a chain of channel closes, so waiting
+	// for stage 3 waits for everything.
+	wg3.Wait()
+
+	if perr := pctx.Err(); perr != nil {
+		return nil, perr
+	}
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble in shard order so the output is deterministic for any
+	// worker and in-flight configuration.
+	out := &Output{Stats1: ix1.Stats()}
+	var dev deviceAggregator
+	for i := range outs {
+		so := &outs[i]
+		out.Alignments = append(out.Alignments, so.aligns...)
+		out.Hits += so.nHits
+		out.Pairs += so.pairs
+		addGappedStats(&out.GappedWork, &so.gstats)
+		out.Step2Time += so.step2
+		out.Step3Time += so.step3
+		if req.KeepHits {
+			out.UngappedHits = append(out.UngappedHits, so.hits...)
+		}
+		dev.add(so.device)
+	}
+	out.Device = dev.report()
+	out.IndexTime = met.Index.Busy
+	out.Stats0 = merger.stats()
+	// Stable sort under the gapped stage's ordering: a single-shard run
+	// arrives already sorted and keeps the batch path's exact order.
+	sort.SliceStable(out.Alignments, func(i, j int) bool {
+		a, b := &out.Alignments[i], &out.Alignments[j]
+		if a.Seq0 != b.Seq0 {
+			return a.Seq0 < b.Seq0
+		}
+		if a.EValue != b.EValue {
+			return a.EValue < b.EValue
+		}
+		return a.Seq1 < b.Seq1
+	})
+	met.Wall = time.Since(start)
+	out.Metrics = met
+	return out, nil
+}
+
+// planShards cuts [0, n) into contiguous ranges of at most size
+// sequences. Size <= 0 (or >= n) yields a single shard; n == 0 yields
+// none.
+func planShards(n, size int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	if size <= 0 || size >= n {
+		return [][2]int{{0, n}}
+	}
+	out := make([][2]int, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// buildShard materialises one shard: a sub-bank view of bank 0 (the
+// whole bank when the shard covers it) and its step-1 index.
+func buildShard(req *Request, id, lo, hi int) (*Shard, error) {
+	b := req.Bank0
+	if req.Index0 != nil {
+		// Validated single-shard case: reuse the caller's index.
+		return &Shard{ID: id, Start: lo, End: hi, Bank: b, Index: req.Index0}, nil
+	}
+	if lo != 0 || hi != b.Len() {
+		sub := bank.New(fmt.Sprintf("%s[%d:%d)", b.Name(), lo, hi))
+		for s := lo; s < hi; s++ {
+			sub.Add(b.ID(s), b.Seq(s))
+		}
+		b = sub
+	}
+	ix, err := index.BuildParallel(b, req.Seed, req.N, req.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Shard{ID: id, Start: lo, End: hi, Bank: b, Index: ix}, nil
+}
+
+// statsMerger accumulates per-key bucket counts across shard indexes;
+// summed per key they equal the monolithic index's histogram, so the
+// derived statistics match a whole-bank build exactly.
+type statsMerger struct {
+	counts []uint32
+}
+
+func newStatsMerger(space int) *statsMerger {
+	return &statsMerger{counts: make([]uint32, space)}
+}
+
+func (m *statsMerger) add(ix *index.Index) { ix.AddBucketCounts(m.counts) }
+
+func (m *statsMerger) stats() index.Stats { return index.StatsFromBucketCounts(m.counts) }
+
+func addGappedStats(dst, src *gapped.Stats) {
+	dst.Hits += src.Hits
+	dst.Contained += src.Contained
+	dst.PreFiltered += src.PreFiltered
+	dst.Extended += src.Extended
+	dst.DPRows += src.DPRows
+	dst.DPCells += src.DPCells
+}
+
+// deviceAggregator folds per-shard accelerator reports into one.
+type deviceAggregator struct {
+	reports          int
+	first            *hwsim.Step2Report
+	agg              hwsim.Step2Report
+	utilNum, utilDen float64
+}
+
+func (a *deviceAggregator) add(rep *hwsim.Step2Report) {
+	if rep == nil {
+		return
+	}
+	a.reports++
+	if a.reports == 1 {
+		a.first = rep
+	}
+	a.agg.Pairs += rep.Pairs
+	a.agg.Records += rep.Records
+	for i, c := range rep.CyclesPerFPGA {
+		if i >= len(a.agg.CyclesPerFPGA) {
+			a.agg.CyclesPerFPGA = append(a.agg.CyclesPerFPGA, 0)
+		}
+		a.agg.CyclesPerFPGA[i] += c
+	}
+	a.agg.BytesToDevice += rep.BytesToDevice
+	a.agg.BytesFromDev += rep.BytesFromDev
+	a.agg.Transfers += rep.Transfers
+	a.agg.ComputeSeconds += rep.ComputeSeconds
+	a.agg.DMASeconds += rep.DMASeconds
+	a.agg.Seconds += rep.Seconds
+	var cycles float64
+	for _, c := range rep.CyclesPerFPGA {
+		cycles += float64(c)
+	}
+	a.utilNum += rep.Utilization * cycles
+	a.utilDen += cycles
+}
+
+func (a *deviceAggregator) report() *hwsim.Step2Report {
+	switch a.reports {
+	case 0:
+		return nil
+	case 1:
+		return a.first
+	default:
+		r := a.agg
+		if a.utilDen > 0 {
+			r.Utilization = a.utilNum / a.utilDen
+		}
+		return &r
+	}
+}

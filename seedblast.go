@@ -14,12 +14,14 @@
 package seedblast
 
 import (
+	"context"
 	"fmt"
 
 	"seedblast/internal/alphabet"
 	"seedblast/internal/bank"
 	"seedblast/internal/blast"
 	"seedblast/internal/core"
+	"seedblast/internal/pipeline"
 	"seedblast/internal/seed"
 	"seedblast/internal/seqio"
 	"seedblast/internal/translate"
@@ -43,6 +45,12 @@ type (
 	Engine = core.Engine
 	// Bank is an ordered set of protein sequences.
 	Bank = bank.Bank
+	// PipelineConfig tunes the streaming shard engine (shard size,
+	// shards in flight, per-stage concurrency); see Options.Pipeline.
+	PipelineConfig = pipeline.Config
+	// PipelineMetrics is the streaming engine's per-run accounting,
+	// reported in Result.Pipeline.
+	PipelineMetrics = pipeline.Metrics
 )
 
 // Engine values.
@@ -51,21 +59,37 @@ const (
 	EngineCPU = core.EngineCPU
 	// EngineRASC runs step 2 on the simulated RASC-100 accelerator.
 	EngineRASC = core.EngineRASC
+	// EngineMulti fans shards out across the CPU and RASC backends —
+	// the paper's multicore-plus-FPGA dispatch, answered greedily.
+	EngineMulti = core.EngineMulti
 )
 
 // DefaultOptions returns the paper's defaults: W=4 subset seed, N=14,
 // BLOSUM62, ungapped threshold 38, gapped stage at E ≤ 10⁻³.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
-// Compare runs the three-step pipeline on two protein banks.
+// Compare runs the three-step pipeline on two protein banks through
+// the streaming shard engine (batch-identical with the zero
+// Options.Pipeline).
 func Compare(b0, b1 *Bank, opt Options) (*Result, error) {
 	return core.Compare(b0, b1, opt)
+}
+
+// CompareContext is Compare with cancellation: cancelling ctx shuts
+// the engine's stages down promptly and returns ctx's error.
+func CompareContext(ctx context.Context, b0, b1 *Bank, opt Options) (*Result, error) {
+	return core.CompareContext(ctx, b0, b1, opt)
 }
 
 // CompareGenome runs the tblastn-style workflow: proteins against a
 // six-frame-translated genome, with matches in genome coordinates.
 func CompareGenome(proteins *Bank, genome []byte, opt Options) (*GenomeResult, error) {
 	return core.CompareGenome(proteins, genome, opt)
+}
+
+// CompareGenomeContext is CompareGenome with cancellation.
+func CompareGenomeContext(ctx context.Context, proteins *Bank, genome []byte, opt Options) (*GenomeResult, error) {
+	return core.CompareGenomeContext(ctx, proteins, genome, opt)
 }
 
 // BLAST-family modes beyond tblastn (the paper's conclusion: the PSC
