@@ -1,0 +1,69 @@
+// Command seedservd serves the seed-based comparison pipeline over
+// HTTP+JSON: clients submit bank-vs-bank or protein-vs-genome jobs,
+// poll their status and fetch alignments; prebuilt subject indexes are
+// cached and shared across requests and a worker pool bounds how many
+// comparisons run at once.
+//
+//	seedservd -addr :8844 -max-concurrent 4 -cache-entries 16
+//
+//	# submit, poll, fetch:
+//	curl -s localhost:8844/v1/jobs -d '{"query":[{"id":"q0","seq":"MKV..."}],
+//	  "subject":[{"id":"s0","seq":"MKI..."}],"options":{"maxEValue":10}}'
+//	curl -s localhost:8844/v1/jobs/job-1
+//	curl -s localhost:8844/v1/jobs/job-1/alignments
+//	curl -s localhost:8844/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"seedblast/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seedservd: ")
+
+	var (
+		addr          = flag.String("addr", ":8844", "listen address")
+		maxConcurrent = flag.Int("max-concurrent", 2, "comparisons admitted at once (worker pool size)")
+		cacheEntries  = flag.Int("cache-entries", 8, "subject-index LRU cache capacity")
+		maxJobs       = flag.Int("max-jobs", 256, "finished jobs kept pollable before the oldest are dropped")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		MaxConcurrent:   *maxConcurrent,
+		CacheEntries:    *cacheEntries,
+		MaxJobsRetained: *maxJobs,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+
+	log.Printf("listening on %s (max-concurrent=%d cache-entries=%d)",
+		*addr, svc.Config().MaxConcurrent, svc.Config().CacheEntries)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	svc.Close()
+}

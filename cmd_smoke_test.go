@@ -1,10 +1,15 @@
 package seedblast_test
 
 import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildTool compiles one command into a temp dir and returns its path.
@@ -91,6 +96,130 @@ func TestCmdPsctraceSmoke(t *testing.T) {
 	for _, want := range []string{"load phase", "finishes", "output pe=", "total cycles"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("psctrace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCmdSeedservdSmoke drives the comparison service end to end over
+// real HTTP: start the daemon, submit a bank-vs-bank job, poll it to
+// completion, fetch the alignments, and read /metrics.
+func TestCmdSeedservdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests in -short mode")
+	}
+	bin := buildTool(t, "cmd/seedservd")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cmd := exec.Command(bin, "-addr", addr, "-max-concurrent", "2")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	base := "http://" + addr
+
+	// Wait for the server to come up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("seedservd did not come up on %s: %v", addr, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// A query with a strong self-match in the subject bank.
+	body := `{
+	  "query":   [{"id": "q0", "seq": "MKVLITGASGFIGSHLVDRLMSKGYEVIGLDNFNDYYDVRLKEARLELL"}],
+	  "subject": [{"id": "s0", "seq": "MKVLITGASGFIGSHLVDRLMSKGYEVIGLDNFNDYYDVRLKEARLELL"},
+	              {"id": "s1", "seq": "AWQETNPNNSWGWSQERLAELAAEYDVDAIRPGRGLHLMSSRSHATTAW"}],
+	  "options": {"maxEValue": 1}
+	}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct{ ID, State string }
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sub.ID == "" {
+		t.Fatal("submit returned no job id")
+	}
+
+	// Fresh deadline: the startup wait above may have consumed most of
+	// the first one on a loaded host.
+	deadline = time.Now().Add(10 * time.Second)
+	var state string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string
+			Error string
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		state = st.State
+		if state == "done" {
+			break
+		}
+		if state == "failed" {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if state != "done" {
+		t.Fatalf("job stuck in state %q", state)
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + sub.ID + "/alignments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aligns []struct {
+		Query   string
+		Subject string
+		Score   int
+		EValue  float64
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&aligns); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(aligns) == 0 {
+		t.Fatal("no alignments for an exact self-match")
+	}
+	if aligns[0].Query != "q0" || aligns[0].Subject != "s0" {
+		t.Errorf("top alignment %+v, want q0 vs s0", aligns[0])
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"seedservd_requests_completed_total 1", "seedservd_index_cache_misses_total 1"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"seedblast/internal/align"
 	"seedblast/internal/bank"
 	"seedblast/internal/gapped"
 	"seedblast/internal/hwsim"
@@ -32,6 +33,7 @@ import (
 	"seedblast/internal/matrix"
 	"seedblast/internal/pipeline"
 	"seedblast/internal/seed"
+	"seedblast/internal/stats"
 	"seedblast/internal/translate"
 	"seedblast/internal/ungapped"
 )
@@ -122,6 +124,14 @@ type Options struct {
 	// and vertebrate-mitochondrial codes are provided by package
 	// translate.
 	GeneticCode *translate.Code
+	// SubjectIndex optionally provides a prebuilt step-1 index of the
+	// subject bank (bank 1). It must have been built from the same
+	// subject contents with the same Seed and N. The engine rejects
+	// mismatched key space, N, or bank shape (sequence count / total
+	// residues); full content identity is the caller's responsibility —
+	// the comparison service guarantees it by keying its cache on
+	// index.Fingerprint. Nil means build (and time) it per call.
+	SubjectIndex *index.Index
 }
 
 // code resolves the genetic code option.
@@ -130,6 +140,37 @@ func (o *Options) code() *translate.Code {
 		return o.GeneticCode
 	}
 	return translate.StandardCode
+}
+
+// gappedConfig resolves the step-3 configuration. Fields the caller
+// set are preserved; only unset (zero) fields that have no meaningful
+// zero value are filled from gapped.DefaultConfig: the matrix, the
+// band, the E-value cutoff, the gap costs and the statistical
+// parameters. GapTrigger, XDrop and Traceback keep their zero values
+// because zero is meaningful there (pre-filter disabled, no
+// traceback). An explicit Gapped.Workers wins over Options.Workers.
+func (o *Options) gappedConfig() gapped.Config {
+	g := o.Gapped
+	def := gapped.DefaultConfig()
+	if g.Matrix == nil {
+		g.Matrix = def.Matrix
+	}
+	if g.Band == 0 {
+		g.Band = def.Band
+	}
+	if g.MaxEValue == 0 {
+		g.MaxEValue = def.MaxEValue
+	}
+	if g.Params == (stats.Params{}) {
+		g.Params = def.Params
+	}
+	if g.Gaps == (align.GapParams{}) {
+		g.Gaps = def.Gaps
+	}
+	if g.Workers == 0 {
+		g.Workers = o.Workers
+	}
+	return g
 }
 
 // DefaultOptions returns the pipeline defaults: the W=4 subset seed,
@@ -215,11 +256,7 @@ func CompareContext(ctx context.Context, b0, b1 *bank.Bank, opt Options) (*Resul
 	if err != nil {
 		return nil, err
 	}
-	gcfg := opt.Gapped
-	if gcfg.Matrix == nil {
-		gcfg = gapped.DefaultConfig()
-	}
-	gcfg.Workers = opt.Workers
+	gcfg := opt.gappedConfig()
 	eng, err := pipeline.New(opt.Pipeline, backend)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -231,6 +268,7 @@ func CompareContext(ctx context.Context, b0, b1 *bank.Bank, opt Options) (*Resul
 		N:       opt.N,
 		Workers: opt.Workers,
 		Gapped:  gcfg,
+		Index1:  opt.SubjectIndex,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -314,9 +352,16 @@ func CompareBatch(b0, b1 *bank.Bank, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: indexing bank 0: %w", err)
 	}
-	ix1, err := index.BuildParallel(b1, opt.Seed, opt.N, opt.Workers)
-	if err != nil {
-		return nil, fmt.Errorf("core: indexing bank 1: %w", err)
+	ix1 := opt.SubjectIndex
+	if ix1 == nil {
+		var err error
+		ix1, err = index.BuildParallel(b1, opt.Seed, opt.N, opt.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: indexing bank 1: %w", err)
+		}
+	} else if ix1.Model().KeySpace() != opt.Seed.KeySpace() || ix1.N() != opt.N ||
+		ix1.Bank().Len() != b1.Len() || ix1.Bank().TotalResidues() != b1.TotalResidues() {
+		return nil, fmt.Errorf("core: provided subject index does not match options or subject bank")
 	}
 	res := &Result{Stats0: ix0.Stats(), Stats1: ix1.Stats()}
 	res.Times.Index = time.Since(t0)
@@ -358,11 +403,7 @@ func CompareBatch(b0, b1 *bank.Bank, opt Options) (*Result, error) {
 	// Step 3: gapped extension on the host (or, in the future-work
 	// configuration, timed as if on the second FPGA's gap operator).
 	t2 := time.Now()
-	gcfg := opt.Gapped
-	if gcfg.Matrix == nil {
-		gcfg = gapped.DefaultConfig()
-	}
-	gcfg.Workers = opt.Workers
+	gcfg := opt.gappedConfig()
 	as, gstats, err := gapped.RunWithStats(b0, b1, hits, gcfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: step 3: %w", err)
@@ -430,13 +471,36 @@ func CompareGenome(proteins *bank.Bank, genome []byte, opt Options) (*GenomeResu
 	return CompareGenomeContext(context.Background(), proteins, genome, opt)
 }
 
-// CompareGenomeContext is CompareGenome with cancellation.
-func CompareGenomeContext(ctx context.Context, proteins *bank.Bank, genome []byte, opt Options) (*GenomeResult, error) {
-	frames := opt.code().SixFrames(genome)
+// Code resolves the options' genetic code (the standard code when
+// GeneticCode is nil).
+func (o *Options) Code() *translate.Code { return o.code() }
+
+// FrameBank translates a genome into its six reading frames under the
+// options' genetic code and returns them as the subject bank
+// CompareGenome compares against. The translation is deterministic, so
+// an index built from this bank is reusable (via Options.SubjectIndex)
+// across every CompareGenome call with the same genome, code, seed and
+// N — the comparison service caches genome frame indexes this way.
+func FrameBank(genome []byte, opt Options) *bank.Bank {
+	return frameBank(opt.code().SixFrames(genome))
+}
+
+// frameBank is the one place a frame set becomes a subject bank;
+// FrameBank (the service's cached-index build) and CompareGenomeContext
+// must construct identical banks or a cached genome index would
+// silently mismatch.
+func frameBank(frames [6]translate.FrameTranslation) *bank.Bank {
 	fbank := bank.New("genome-frames")
 	for _, ft := range frames {
 		fbank.Add(ft.Frame.String(), ft.Protein)
 	}
+	return fbank
+}
+
+// CompareGenomeContext is CompareGenome with cancellation.
+func CompareGenomeContext(ctx context.Context, proteins *bank.Bank, genome []byte, opt Options) (*GenomeResult, error) {
+	frames := opt.code().SixFrames(genome)
+	fbank := frameBank(frames)
 	res, err := CompareContext(ctx, proteins, fbank, opt)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"seedblast/internal/align"
+	"seedblast/internal/bank"
+	"seedblast/internal/gapped"
+	"seedblast/internal/index"
+	"seedblast/internal/matrix"
+)
+
+// Regression for the options bug where a nil Gapped.Matrix replaced
+// the caller's entire gapped.Config with the defaults, silently
+// discarding user-set fields like Band and MaxEValue, and
+// Gapped.Workers was unconditionally clobbered by Options.Workers.
+func TestGappedConfigPreservesUserFields(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Workers = 8
+	opt.Gapped = gapped.Config{ // Matrix deliberately nil
+		Band:      7,
+		MaxEValue: 0.5,
+		Workers:   3,
+	}
+	g := opt.gappedConfig()
+	if g.Matrix != matrix.BLOSUM62 {
+		t.Errorf("missing matrix not filled with the default")
+	}
+	if g.Band != 7 {
+		t.Errorf("user Band discarded: got %d, want 7", g.Band)
+	}
+	if g.MaxEValue != 0.5 {
+		t.Errorf("user MaxEValue discarded: got %g, want 0.5", g.MaxEValue)
+	}
+	if g.Workers != 3 {
+		t.Errorf("explicit Gapped.Workers clobbered: got %d, want 3", g.Workers)
+	}
+	if g.GapTrigger != 0 {
+		t.Errorf("GapTrigger 0 (pre-filter disabled) overwritten: got %d", g.GapTrigger)
+	}
+	def := gapped.DefaultConfig()
+	if g.Params != def.Params {
+		t.Errorf("unset Params not filled with the defaults")
+	}
+	if g.Gaps != def.Gaps {
+		t.Errorf("unset Gaps not filled with the defaults")
+	}
+}
+
+func TestGappedConfigZeroValueGetsDefaults(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Gapped = gapped.Config{}
+	opt.Workers = 2
+	g := opt.gappedConfig()
+	def := gapped.DefaultConfig()
+	if g.Matrix != def.Matrix || g.Band != def.Band || g.MaxEValue != def.MaxEValue ||
+		g.Params != def.Params || g.Gaps != def.Gaps {
+		t.Errorf("zero Gapped config not filled with defaults: %+v", g)
+	}
+	if g.Workers != 2 {
+		t.Errorf("unset Gapped.Workers should inherit Options.Workers: got %d", g.Workers)
+	}
+}
+
+func TestGappedConfigExplicitUntouched(t *testing.T) {
+	opt := DefaultOptions()
+	want := gapped.Config{
+		Matrix:     matrix.BLOSUM62,
+		Gaps:       align.GapParams{Open: 9, Extend: 2},
+		Band:       5,
+		GapTrigger: 20,
+		XDrop:      9,
+		Params:     gapped.DefaultConfig().Params,
+		MaxEValue:  2.5,
+		Traceback:  true,
+		Workers:    4,
+	}
+	opt.Gapped = want
+	opt.Workers = 16
+	if got := opt.gappedConfig(); got != want {
+		t.Errorf("fully explicit Gapped config modified:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// End-to-end: a user-set MaxEValue with a nil Matrix must actually
+// reach the gapped stage instead of being replaced by the default.
+func TestCompareHonorsGappedEValueWithNilMatrix(t *testing.T) {
+	// Unrelated banks: chance similarities only, which survive a loose
+	// E-value cutoff but not the strict default.
+	b0 := bank.GenerateProteins(bank.ProteinConfig{N: 20, MeanLen: 120, LenJitter: 15, Seed: 7})
+	b1 := bank.GenerateProteins(bank.ProteinConfig{N: 20, MeanLen: 120, LenJitter: 15, Seed: 8})
+
+	loose := DefaultOptions()
+	loose.UngappedThreshold = 20
+	loose.Gapped = gapped.Config{MaxEValue: 1e6} // Matrix nil: fill it, keep the cutoff
+	rl, err := Compare(b0, b1, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	strict := DefaultOptions() // default E ≤ 1e-3
+	strict.UngappedThreshold = 20
+	rs, err := Compare(b0, b1, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rl.Alignments) <= len(rs.Alignments) {
+		t.Errorf("loose cutoff (1e6) reported %d alignments, strict (1e-3) %d; the user cutoff was discarded",
+			len(rl.Alignments), len(rs.Alignments))
+	}
+	for _, a := range rl.Alignments {
+		if a.EValue > 1e6 {
+			t.Fatalf("alignment with E=%g exceeds the user cutoff", a.EValue)
+		}
+	}
+}
+
+// SubjectIndex reuse must be validated and bit-identical to a fresh
+// build.
+func TestCompareWithPrebuiltSubjectIndex(t *testing.T) {
+	b0 := bank.GenerateProteins(bank.ProteinConfig{N: 8, MeanLen: 100, LenJitter: 10, Seed: 3})
+	b1 := bank.GenerateProteins(bank.ProteinConfig{N: 8, MeanLen: 100, LenJitter: 10, Seed: 4})
+
+	opt := DefaultOptions()
+	fresh, err := Compare(b0, b1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ix1, err := index.BuildParallel(b1, opt.Seed, opt.N, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.SubjectIndex = ix1
+	reused, err := Compare(b0, b1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reused.Alignments) != len(fresh.Alignments) {
+		t.Fatalf("prebuilt subject index changed results: %d vs %d alignments",
+			len(reused.Alignments), len(fresh.Alignments))
+	}
+	for i := range fresh.Alignments {
+		if fresh.Alignments[i].Score != reused.Alignments[i].Score ||
+			fresh.Alignments[i].Seq0 != reused.Alignments[i].Seq0 ||
+			fresh.Alignments[i].Seq1 != reused.Alignments[i].Seq1 ||
+			fresh.Alignments[i].EValue != reused.Alignments[i].EValue {
+			t.Fatalf("alignment %d differs with prebuilt subject index", i)
+		}
+	}
+
+	// A mismatched index must be rejected, not silently used.
+	bad := DefaultOptions()
+	bad.N = opt.N + 1
+	bad.SubjectIndex = ix1
+	if _, err := Compare(b0, b1, bad); err == nil {
+		t.Fatal("mismatched SubjectIndex (wrong N) accepted")
+	}
+	if _, err := CompareBatch(b0, b1, bad); err == nil {
+		t.Fatal("CompareBatch accepted mismatched SubjectIndex")
+	}
+}

@@ -2,6 +2,8 @@ package hwsim
 
 import (
 	"fmt"
+
+	"seedblast/internal/alphabet"
 )
 
 // Record is one result produced by the PSC operator: PE number (which
@@ -27,9 +29,11 @@ type pe struct {
 }
 
 // consume feeds one IL1 residue into the PE; reports whether the PE
-// finished a sub-sequence this cycle (finish score in best).
+// finished a sub-sequence this cycle (finish score in best). The
+// substitution ROM is the flat matrix table, row stride alphabet.NumAA
+// (matrix.Table() is pinned to NumAA×NumAA by test).
 func (p *pe) consume(c byte, table []int8, subLen int) bool {
-	p.score += int32(table[int(p.reg[p.pos])*24+int(c)])
+	p.score += int32(table[int(p.reg[p.pos])*alphabet.NumAA+int(c)])
 	if p.score < 0 {
 		p.score = 0 // zero clamp: best-segment semantics
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"seedblast/internal/align"
+	"seedblast/internal/alphabet"
 	"seedblast/internal/bank"
 	"seedblast/internal/matrix"
 )
@@ -319,5 +320,23 @@ func TestOperatorErrors(t *testing.T) {
 	}
 	if _, err := op.StreamIL1(make([]byte, 5), 1); err == nil {
 		t.Error("mis-sized stream accepted")
+	}
+}
+
+// The PE substitution ROM indexes the flat matrix table with row
+// stride alphabet.NumAA. Pin the table layout so a change to the
+// alphabet cannot silently misindex the operator.
+func TestSubstitutionTableStride(t *testing.T) {
+	table := matrix.BLOSUM62.Table()
+	if len(table) != alphabet.NumAA*alphabet.NumAA {
+		t.Fatalf("matrix.Table() has %d entries, want NumAA²=%d; the PSC ROM stride is broken",
+			len(table), alphabet.NumAA*alphabet.NumAA)
+	}
+	for a := 0; a < alphabet.NumAA; a++ {
+		for b := 0; b < alphabet.NumAA; b++ {
+			if got, want := int(table[a*alphabet.NumAA+b]), matrix.BLOSUM62.Score(byte(a), byte(b)); got != want {
+				t.Fatalf("table[%d*NumAA+%d]=%d, Score=%d: stride mismatch", a, b, got, want)
+			}
+		}
 	}
 }

@@ -1,0 +1,56 @@
+package index
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/seed"
+)
+
+// BankFingerprint returns a stable hex digest of a bank's contents:
+// every sequence id and residue string, length-prefixed so record
+// boundaries are unambiguous. Two banks with equal fingerprints index
+// identically under any seed model. The bank name is deliberately
+// excluded — the same sequences under a different label are the same
+// subject.
+func BankFingerprint(b *bank.Bank) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	writeChunk := func(p []byte) {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(b.Len()))
+	h.Write(lenBuf[:])
+	for i := 0; i < b.Len(); i++ {
+		writeChunk([]byte(b.ID(i)))
+		writeChunk(b.Seq(i))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ModelIdentity names a seed model for cache keying: its name, width
+// and key space. Two distinct models must not share all three. Every
+// fingerprint (here and in the comparison service's genome keys) uses
+// this one encoding so the schemes cannot drift apart.
+func ModelIdentity(model seed.Model, n int) string {
+	return fmt.Sprintf("%s:w%d:k%d/n%d", model.Name(), model.Width(), model.KeySpace(), n)
+}
+
+// Fingerprint identifies one index build: the bank contents combined
+// with the seed model identity (ModelIdentity) and the neighbourhood
+// extension N. It is the cache key the comparison service uses to
+// share prebuilt subject indexes across requests.
+func Fingerprint(b *bank.Bank, model seed.Model, n int) string {
+	return BankFingerprint(b) + "/" + ModelIdentity(model, n)
+}
+
+// Fingerprint returns the index's own build fingerprint (the same
+// value Fingerprint reports for its bank, model and N).
+func (ix *Index) Fingerprint() string {
+	return Fingerprint(ix.bank, ix.model, ix.n)
+}

@@ -1,0 +1,70 @@
+package index
+
+import (
+	"testing"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/seed"
+)
+
+func fpBank(name string, seqs ...string) *bank.Bank {
+	b := bank.New(name)
+	for i, s := range seqs {
+		b.Add(string(rune('a'+i)), []byte(s))
+	}
+	return b
+}
+
+func TestBankFingerprint(t *testing.T) {
+	a := fpBank("a", "ACDEF", "GHIKL")
+	same := fpBank("other-name", "ACDEF", "GHIKL")
+	if BankFingerprint(a) != BankFingerprint(same) {
+		t.Error("fingerprint depends on the bank name")
+	}
+	// Moving a residue across a record boundary must change the digest
+	// (length prefixing).
+	shifted := fpBank("a", "ACDEFG", "HIKL")
+	if BankFingerprint(a) == BankFingerprint(shifted) {
+		t.Error("record boundaries not separated in the fingerprint")
+	}
+	reordered := fpBank("a", "GHIKL", "ACDEF")
+	if BankFingerprint(a) == BankFingerprint(reordered) {
+		t.Error("sequence order ignored by the fingerprint")
+	}
+}
+
+func TestIndexFingerprintKeyedOnModelAndN(t *testing.T) {
+	b := bank.GenerateProteins(bank.ProteinConfig{N: 4, MeanLen: 60, Seed: 9})
+	m := seed.Default()
+	f1 := Fingerprint(b, m, 14)
+	if f2 := Fingerprint(b, m, 15); f1 == f2 {
+		t.Error("fingerprint ignores N")
+	}
+	if f3 := Fingerprint(b, seed.Exact(4), 14); f1 == f3 {
+		t.Error("fingerprint ignores the seed model")
+	}
+	ix, err := Build(b, m, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Fingerprint() != f1 {
+		t.Error("(*Index).Fingerprint disagrees with Fingerprint")
+	}
+}
+
+// badKeyModel wraps a model but reports keys outside its declared key
+// space for any window, exercising the build-time range defense.
+type badKeyModel struct{ seed.Model }
+
+func (badKeyModel) Key(w []byte) (uint32, bool) { return 1 << 30, true }
+
+func TestBuildRejectsOutOfRangeKeys(t *testing.T) {
+	b := bank.GenerateProteins(bank.ProteinConfig{N: 4, MeanLen: 50, Seed: 2})
+	bad := badKeyModel{seed.Default()}
+	if _, err := Build(b, bad, 0); err == nil {
+		t.Error("Build accepted out-of-range seed keys")
+	}
+	if _, err := BuildParallel(b, bad, 0, 2); err == nil {
+		t.Error("BuildParallel accepted out-of-range seed keys")
+	}
+}

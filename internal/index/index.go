@@ -59,6 +59,9 @@ func Build(b *bank.Bank, model seed.Model, n int) (*Index, error) {
 		seq := b.Seq(s)
 		for off := 0; off+w <= len(seq); off++ {
 			if key, ok := model.Key(seq[off : off+w]); ok {
+				if int(key) >= space {
+					return nil, errKeyRange(key, space)
+				}
 				counts[key+1]++
 			}
 		}
@@ -93,6 +96,13 @@ func Build(b *bank.Bank, model seed.Model, n int) (*Index, error) {
 
 func errNegativeN(n int) error {
 	return fmt.Errorf("index: negative neighbourhood %d", n)
+}
+
+// errKeyRange reports a seed model returning a key outside its
+// declared KeySpace — a model bug that would otherwise corrupt the
+// bucket table (or panic mid-build).
+func errKeyRange(key uint32, space int) error {
+	return fmt.Errorf("index: seed model returned key %d outside its key space %d", key, space)
 }
 
 // extractWindow copies seq[start : start+len(dst)] into dst, padding

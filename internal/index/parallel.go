@@ -44,6 +44,7 @@ func BuildParallel(b *bank.Bank, model seed.Model, n, workers int) (*Index, erro
 
 	// Pass 1: per-worker histograms.
 	counts := make([][]uint32, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for wi := range ranges {
 		wg.Add(1)
@@ -54,6 +55,10 @@ func BuildParallel(b *bank.Bank, model seed.Model, n, workers int) (*Index, erro
 				seq := b.Seq(s)
 				for off := 0; off+w <= len(seq); off++ {
 					if key, ok := model.Key(seq[off : off+w]); ok {
+						if int(key) >= space {
+							errs[wi] = errKeyRange(key, space)
+							return
+						}
 						local[key]++
 					}
 				}
@@ -62,6 +67,11 @@ func BuildParallel(b *bank.Bank, model seed.Model, n, workers int) (*Index, erro
 		}(wi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	// Exclusive scan over (key, worker): cursor[wi][k] is where worker
 	// wi starts writing inside bucket k; bucketStart is the per-key scan.

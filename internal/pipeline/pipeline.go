@@ -168,8 +168,16 @@ type Output struct {
 	Metrics Metrics
 }
 
-// Engine is a streaming shard-pipeline executor. An Engine is
-// stateless between runs and safe for sequential reuse.
+// Engine is a streaming shard-pipeline executor. An Engine holds no
+// per-run state — only the immutable Config and the Backend — so it is
+// safe for concurrent Run calls from multiple goroutines provided its
+// Backend is safe for concurrent Step2 calls. All backends in this
+// package are: CPUBackend and RASCBackend keep per-call state on the
+// stack (hwsim.Device is configuration-only), and MultiBackend
+// serialises access to each inner backend through its free list. Note
+// that concurrent runs multiply memory and worker usage; callers
+// wanting bounded admission should gate Run with a semaphore (package
+// service does).
 type Engine struct {
 	cfg     Config
 	backend Backend
@@ -188,7 +196,12 @@ func (e *Engine) Backend() Backend { return e.backend }
 
 // Run executes the request. On cancellation it returns the context's
 // error after every stage goroutine has shut down — no goroutines
-// outlive the call.
+// outlive the call. Run is safe to call concurrently from multiple
+// goroutines (see Engine). When a run fails after the dataflow has
+// started, the returned Output is non-nil and carries the Metrics
+// accumulated up to the failure (all other fields zero) so callers can
+// still account for the work done; early validation errors return a
+// nil Output.
 func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
 	if req == nil || req.Bank0 == nil || req.Bank1 == nil {
 		return nil, fmt.Errorf("pipeline: request needs both banks")
@@ -228,9 +241,8 @@ func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
 			return nil, fmt.Errorf("pipeline: indexing bank 1: %w", err)
 		}
 		met.Index.Busy += time.Since(t0)
-	} else if ix1.Model().KeySpace() != req.Seed.KeySpace() || ix1.N() != req.N {
-		return nil, fmt.Errorf("pipeline: provided bank-1 index (keys=%d N=%d) does not match request (keys=%d N=%d)",
-			ix1.Model().KeySpace(), ix1.N(), req.Seed.KeySpace(), req.N)
+	} else if err := matchesRequest(ix1, req.Bank1, req.Seed, req.N); err != nil {
+		return nil, fmt.Errorf("pipeline: provided bank-1 index %w", err)
 	}
 
 	shards := planShards(req.Bank0.Len(), e.cfg.ShardSize)
@@ -239,9 +251,8 @@ func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
 		if len(shards) > 1 {
 			return nil, fmt.Errorf("pipeline: provided bank-0 index is unusable on a sharded run (%d shards)", len(shards))
 		}
-		if req.Index0.Model().KeySpace() != req.Seed.KeySpace() || req.Index0.N() != req.N {
-			return nil, fmt.Errorf("pipeline: provided bank-0 index (keys=%d N=%d) does not match request (keys=%d N=%d)",
-				req.Index0.Model().KeySpace(), req.Index0.N(), req.Seed.KeySpace(), req.N)
+		if err := matchesRequest(req.Index0, req.Bank0, req.Seed, req.N); err != nil {
+			return nil, fmt.Errorf("pipeline: provided bank-0 index %w", err)
 		}
 	}
 
@@ -262,8 +273,12 @@ func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
 			sh, err := buildShard(req, id, rg[0], rg[1])
 			d := time.Since(t0)
 			mu.Lock()
-			met.Index.Shards++
 			met.Index.Busy += d
+			if err == nil {
+				// Only completed builds count as stage-1 shards; the
+				// busy time above still records what the failure cost.
+				met.Index.Shards++
+			}
 			mu.Unlock()
 			if err != nil {
 				fail(fmt.Errorf("pipeline: shard %d index: %w", id, err))
@@ -371,13 +386,15 @@ func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
 	wg3.Wait()
 
 	if perr := pctx.Err(); perr != nil {
-		return nil, perr
+		met.Wall = time.Since(start)
+		return &Output{Metrics: met}, perr
 	}
 	mu.Lock()
 	err := firstErr
 	mu.Unlock()
 	if err != nil {
-		return nil, err
+		met.Wall = time.Since(start)
+		return &Output{Metrics: met}, err
 	}
 
 	// Assemble in shard order so the output is deterministic for any
@@ -415,6 +432,25 @@ func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
 	met.Wall = time.Since(start)
 	out.Metrics = met
 	return out, nil
+}
+
+// matchesRequest checks a caller-provided prebuilt index against the
+// request: seed key space and N must agree, and the indexed bank must
+// have the request bank's shape (sequence count and total residues —
+// a cheap stand-in for content equality that catches an index built
+// from a different bank; full content identity remains the caller's
+// responsibility, which the service guarantees by fingerprint-keying
+// its cache).
+func matchesRequest(ix *index.Index, b *bank.Bank, model seed.Model, n int) error {
+	if ix.Model().KeySpace() != model.KeySpace() || ix.N() != n {
+		return fmt.Errorf("(keys=%d N=%d) does not match request (keys=%d N=%d)",
+			ix.Model().KeySpace(), ix.N(), model.KeySpace(), n)
+	}
+	if ix.Bank().Len() != b.Len() || ix.Bank().TotalResidues() != b.TotalResidues() {
+		return fmt.Errorf("was built from a different bank (%d seqs/%d aa vs %d seqs/%d aa)",
+			ix.Bank().Len(), ix.Bank().TotalResidues(), b.Len(), b.TotalResidues())
+	}
+	return nil
 }
 
 // planShards cuts [0, n) into contiguous ranges of at most size

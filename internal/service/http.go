@@ -1,0 +1,371 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"seedblast/internal/alphabet"
+	"seedblast/internal/bank"
+	"seedblast/internal/core"
+	"seedblast/internal/gapped"
+	"seedblast/internal/pipeline"
+	"seedblast/internal/translate"
+)
+
+// maxRequestBytes bounds a submitted job body (banks are sent inline).
+const maxRequestBytes = 64 << 20
+
+// NewHandler returns the service's HTTP+JSON API:
+//
+//	POST   /v1/jobs                submit a comparison; returns {"id": ...}
+//	GET    /v1/jobs                list job summaries
+//	GET    /v1/jobs/{id}           poll one job's status
+//	DELETE /v1/jobs/{id}           cancel a job
+//	GET    /v1/jobs/{id}/alignments fetch a finished job's alignments
+//	GET    /metrics                Prometheus-style counters
+//	GET    /healthz                liveness probe
+func NewHandler(s *Service) http.Handler {
+	h := &handler{svc: s}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", h.submit)
+	mux.HandleFunc("GET /v1/jobs", h.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", h.status)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/alignments", h.alignments)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+type handler struct{ svc *Service }
+
+// SequenceJSON is one sequence record in a request body.
+type SequenceJSON struct {
+	ID  string `json:"id"`
+	Seq string `json:"seq"`
+}
+
+// OptionsJSON is the wire form of the per-request option subset the
+// API exposes. Absent fields take the pipeline defaults.
+type OptionsJSON struct {
+	Engine        string   `json:"engine,omitempty"` // cpu (default), rasc, multi
+	N             *int     `json:"n,omitempty"`
+	Threshold     *int     `json:"threshold,omitempty"`
+	MaxEValue     *float64 `json:"maxEValue,omitempty"`
+	Traceback     bool     `json:"traceback,omitempty"`
+	Workers       int      `json:"workers,omitempty"`
+	ShardSize     int      `json:"shardSize,omitempty"`
+	InFlight      int      `json:"inFlight,omitempty"`
+	StreamWorkers int      `json:"streamWorkers,omitempty"`
+	GeneticCode   string   `json:"geneticCode,omitempty"`
+}
+
+// JobRequestJSON is a submitted comparison: a query bank against
+// either a subject bank or a genome (nucleotide string, tblastn-style).
+type JobRequestJSON struct {
+	Query   []SequenceJSON `json:"query"`
+	Subject []SequenceJSON `json:"subject,omitempty"`
+	Genome  string         `json:"genome,omitempty"`
+	Options OptionsJSON    `json:"options"`
+}
+
+// JobStatusJSON is the poll response.
+type JobStatusJSON struct {
+	ID        string     `json:"id"`
+	State     string     `json:"state"`
+	Mode      string     `json:"mode"` // "bank" or "genome"
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	// Summary fields, present once the job is done.
+	Alignments *int           `json:"alignments,omitempty"`
+	Hits       *int           `json:"hits,omitempty"`
+	Pairs      *int64         `json:"pairs,omitempty"`
+	WallMS     *float64       `json:"wallMS,omitempty"`
+	Shards     map[string]int `json:"shardsByBackend,omitempty"`
+}
+
+// AlignmentJSON is one reported alignment.
+type AlignmentJSON struct {
+	Query    string  `json:"query"`
+	Subject  string  `json:"subject"`
+	Score    int     `json:"score"`
+	BitScore float64 `json:"bitScore"`
+	EValue   float64 `json:"eValue"`
+	QStart   int     `json:"qStart"`
+	QEnd     int     `json:"qEnd"`
+	SStart   int     `json:"sStart"`
+	SEnd     int     `json:"sEnd"`
+	// Genome-mode extras.
+	Frame    string `json:"frame,omitempty"`
+	NucStart *int   `json:"nucStart,omitempty"`
+	NucEnd   *int   `json:"nucEnd,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// buildOptions maps the wire options onto core.Options.
+func buildOptions(oj OptionsJSON) (core.Options, error) {
+	opt := core.DefaultOptions()
+	switch oj.Engine {
+	case "", "cpu":
+		opt.Engine = core.EngineCPU
+	case "rasc":
+		opt.Engine = core.EngineRASC
+	case "multi":
+		opt.Engine = core.EngineMulti
+	default:
+		return opt, fmt.Errorf("unknown engine %q (cpu, rasc, multi)", oj.Engine)
+	}
+	if oj.N != nil {
+		if *oj.N < 0 {
+			return opt, fmt.Errorf("negative n %d", *oj.N)
+		}
+		opt.N = *oj.N
+	}
+	if oj.Threshold != nil {
+		opt.UngappedThreshold = *oj.Threshold
+	}
+	g := gapped.DefaultConfig()
+	if oj.MaxEValue != nil {
+		if *oj.MaxEValue <= 0 {
+			return opt, fmt.Errorf("maxEValue must be positive, got %g", *oj.MaxEValue)
+		}
+		g.MaxEValue = *oj.MaxEValue
+	}
+	g.Traceback = oj.Traceback
+	opt.Gapped = g
+	opt.Workers = oj.Workers
+	opt.Pipeline = pipeline.Config{
+		ShardSize:    oj.ShardSize,
+		InFlight:     oj.InFlight,
+		Step2Workers: oj.StreamWorkers,
+		Step3Workers: oj.StreamWorkers,
+	}
+	if oj.GeneticCode != "" {
+		code, err := translate.CodeByName(oj.GeneticCode)
+		if err != nil {
+			return opt, err
+		}
+		opt.GeneticCode = code
+	}
+	return opt, nil
+}
+
+func decodeBank(name string, seqs []SequenceJSON) (*bank.Bank, error) {
+	b := bank.New(name)
+	for i, sj := range seqs {
+		id := sj.ID
+		if id == "" {
+			id = fmt.Sprintf("%s%d", name, i)
+		}
+		enc, err := alphabet.EncodeProtein(sj.Seq)
+		if err != nil {
+			return nil, fmt.Errorf("sequence %q: %w", id, err)
+		}
+		b.Add(id, enc)
+	}
+	return b, nil
+}
+
+func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
+	var body JobRequestJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(body.Query) == 0 {
+		writeError(w, http.StatusBadRequest, "request needs a query bank")
+		return
+	}
+	if (len(body.Subject) == 0) == (body.Genome == "") {
+		writeError(w, http.StatusBadRequest, "request needs exactly one of subject or genome")
+		return
+	}
+	opt, err := buildOptions(body.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "options: %v", err)
+		return
+	}
+	req := &Request{Options: opt}
+	if req.Query, err = decodeBank("query", body.Query); err != nil {
+		writeError(w, http.StatusBadRequest, "query: %v", err)
+		return
+	}
+	if body.Genome != "" {
+		if req.Genome, err = alphabet.EncodeDNA(body.Genome); err != nil {
+			writeError(w, http.StatusBadRequest, "genome: %v", err)
+			return
+		}
+	} else if req.Subject, err = decodeBank("subject", body.Subject); err != nil {
+		writeError(w, http.StatusBadRequest, "subject: %v", err)
+		return
+	}
+	j, err := h.svc.Submit(req)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID(), "state": string(j.State())})
+}
+
+func jobStatus(j *Job) JobStatusJSON {
+	sub, started, fin := j.Times()
+	st := JobStatusJSON{
+		ID:        j.ID(),
+		State:     string(j.State()),
+		Mode:      "bank",
+		Submitted: sub,
+	}
+	if j.Request().Genome != nil {
+		st.Mode = "genome"
+	}
+	if !started.IsZero() {
+		st.Started = &started
+	}
+	if !fin.IsZero() {
+		st.Finished = &fin
+	}
+	if err := j.Err(); err != nil {
+		st.Error = err.Error()
+	}
+	var res *core.Result
+	if gr := j.GenomeResult(); gr != nil {
+		res = &gr.Result
+	} else {
+		res = j.Result()
+	}
+	if res != nil {
+		n := len(res.Alignments)
+		st.Alignments = &n
+		st.Hits = &res.Hits
+		st.Pairs = &res.Pairs
+		ms := float64(res.Pipeline.Wall) / float64(time.Millisecond)
+		st.WallMS = &ms
+		st.Shards = res.Pipeline.ShardsByBackend
+	}
+	return st
+}
+
+func (h *handler) list(w http.ResponseWriter, _ *http.Request) {
+	jobs := h.svc.Jobs()
+	out := make([]JobStatusJSON, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, jobStatus(j))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *handler) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := h.svc.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+	}
+	return j, ok
+}
+
+func (h *handler) status(w http.ResponseWriter, r *http.Request) {
+	if j, ok := h.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, jobStatus(j))
+	}
+}
+
+func (h *handler) cancel(w http.ResponseWriter, r *http.Request) {
+	if j, ok := h.lookup(w, r); ok {
+		j.Cancel()
+		writeJSON(w, http.StatusOK, map[string]string{"id": j.ID(), "state": string(j.State())})
+	}
+}
+
+func (h *handler) alignments(w http.ResponseWriter, r *http.Request) {
+	j, ok := h.lookup(w, r)
+	if !ok {
+		return
+	}
+	switch j.State() {
+	case JobFailed:
+		writeError(w, http.StatusConflict, "job failed: %v", j.Err())
+		return
+	case JobQueued, JobRunning:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job is %s; poll until done", j.State())
+		return
+	}
+	req := j.Request()
+	var out []AlignmentJSON
+	if gr := j.GenomeResult(); gr != nil {
+		out = make([]AlignmentJSON, 0, len(gr.Matches))
+		for i := range gr.Matches {
+			m := &gr.Matches[i]
+			// The frame doubles as the subject id: in genome mode the
+			// subject sequences are the six frame translations.
+			frame := m.Frame.String()
+			aj := alignmentJSON(req.Query.ID(m.Seq0), frame, &m.Alignment)
+			aj.Frame = frame
+			ns, ne := m.NucStart, m.NucEnd
+			aj.NucStart, aj.NucEnd = &ns, &ne
+			out = append(out, aj)
+		}
+	} else {
+		res := j.Result()
+		out = make([]AlignmentJSON, 0, len(res.Alignments))
+		for i := range res.Alignments {
+			a := &res.Alignments[i]
+			out = append(out, alignmentJSON(req.Query.ID(a.Seq0), req.Subject.ID(a.Seq1), a))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func alignmentJSON(qid, sid string, a *gapped.Alignment) AlignmentJSON {
+	return AlignmentJSON{
+		Query:    qid,
+		Subject:  sid,
+		Score:    a.Score,
+		BitScore: a.BitScore,
+		EValue:   a.EValue,
+		QStart:   a.Q.Start,
+		QEnd:     a.Q.End,
+		SStart:   a.S.Start,
+		SEnd:     a.S.End,
+	}
+}
+
+// metrics renders the service counters in the Prometheus text
+// exposition format: request totals, admission gauges, index-cache
+// behaviour (hit rate included) and per-stage busy seconds.
+func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	m := h.svc.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(name string, v any) { fmt.Fprintf(w, "seedservd_%s %v\n", name, v) }
+	p("requests_submitted_total", m.Submitted)
+	p("requests_completed_total", m.Completed)
+	p("requests_failed_total", m.Failed)
+	p("requests_running", m.Running)
+	p("requests_waiting", m.Waiting)
+	p("index_cache_hits_total", m.Cache.Hits)
+	p("index_cache_misses_total", m.Cache.Misses)
+	p("index_cache_evictions_total", m.Cache.Evictions)
+	p("index_cache_entries", m.Cache.Entries)
+	p("index_cache_hit_rate", m.CacheHitRate)
+	fmt.Fprintf(w, "seedservd_stage_busy_seconds_total{stage=\"index\"} %v\n", m.IndexBusy.Seconds())
+	fmt.Fprintf(w, "seedservd_stage_busy_seconds_total{stage=\"step2\"} %v\n", m.Step2Busy.Seconds())
+	fmt.Fprintf(w, "seedservd_stage_busy_seconds_total{stage=\"step3\"} %v\n", m.Step3Busy.Seconds())
+	p("engine_wall_seconds_total", m.Wall.Seconds())
+	p("alignments_total", m.Alignments)
+}

@@ -1,0 +1,259 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"seedblast/internal/alphabet"
+	"seedblast/internal/bank"
+	"seedblast/internal/core"
+)
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJSON[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// pollDone polls the status endpoint until the job leaves the
+// queued/running states.
+func pollDone(t *testing.T, base, id string) JobStatusJSON {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeJSON[JobStatusJSON](t, resp)
+		if st.State == string(JobDone) || st.State == string(JobFailed) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func bankToJSON(b *bank.Bank) []SequenceJSON {
+	out := make([]SequenceJSON, b.Len())
+	for i := range out {
+		out[i] = SequenceJSON{ID: b.ID(i), Seq: alphabet.DecodeProtein(b.Seq(i))}
+	}
+	return out
+}
+
+// The acceptance path: submit a bank-vs-bank job over HTTP, poll its
+// status, fetch the alignments, and check them against a direct
+// core.Compare run with the same options.
+func TestHTTPSubmitPollFetch(t *testing.T) {
+	b0, b1 := testWorkload(t, 10, 23)
+	opt := testOptions()
+	opt.Workers = 0 // the HTTP layer builds options itself; match its default
+	want, err := core.Compare(b0, b1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Alignments) == 0 {
+		t.Fatal("reference run found no alignments")
+	}
+
+	svc := New(Config{})
+	defer svc.Close()
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	ev := 10.0
+	resp := postJSON(t, ts.URL+"/v1/jobs", JobRequestJSON{
+		Query:   bankToJSON(b0),
+		Subject: bankToJSON(b1),
+		Options: OptionsJSON{MaxEValue: &ev},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	sub := decodeJSON[map[string]string](t, resp)
+	id := sub["id"]
+	if id == "" {
+		t.Fatal("submit response missing job id")
+	}
+
+	st := pollDone(t, ts.URL, id)
+	if st.State != string(JobDone) {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	if st.Mode != "bank" || st.Alignments == nil || *st.Alignments != len(want.Alignments) {
+		t.Fatalf("status summary wrong: %+v", st)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + id + "/alignments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeJSON[[]AlignmentJSON](t, resp)
+	if len(got) != len(want.Alignments) {
+		t.Fatalf("fetched %d alignments, want %d", len(got), len(want.Alignments))
+	}
+	for i, a := range want.Alignments {
+		g := got[i]
+		if g.Query != b0.ID(a.Seq0) || g.Subject != b1.ID(a.Seq1) ||
+			g.Score != a.Score || g.EValue != a.EValue ||
+			g.QStart != a.Q.Start || g.QEnd != a.Q.End ||
+			g.SStart != a.S.Start || g.SEnd != a.S.End {
+			t.Fatalf("alignment %d over HTTP differs:\nwant %+v\n got %+v", i, a, g)
+		}
+	}
+
+	// Unknown job: 404. Alignments of an unknown job: 404.
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/alignments"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s status = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPGenomeJob(t *testing.T) {
+	proteins := bank.GenerateProteins(bank.ProteinConfig{N: 6, MeanLen: 100, LenJitter: 15, Seed: 31})
+	genome, _, err := bank.GenerateGenome(bank.GenomeConfig{
+		Length: 30_000, Source: proteins, PlantCount: 3, PlantSubRate: 0.1, Seed: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Gapped.MaxEValue = 10
+	want, err := core.CompareGenome(proteins, genome, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Matches) == 0 {
+		t.Fatal("reference genome run found no matches")
+	}
+
+	svc := New(Config{})
+	defer svc.Close()
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	ev := 10.0
+	resp := postJSON(t, ts.URL+"/v1/jobs", JobRequestJSON{
+		Query:   bankToJSON(proteins),
+		Genome:  alphabet.DecodeDNA(genome),
+		Options: OptionsJSON{MaxEValue: &ev},
+	})
+	sub := decodeJSON[map[string]string](t, resp)
+	st := pollDone(t, ts.URL, sub["id"])
+	if st.State != string(JobDone) {
+		t.Fatalf("genome job failed: %s", st.Error)
+	}
+	if st.Mode != "genome" {
+		t.Errorf("mode = %s, want genome", st.Mode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + sub["id"] + "/alignments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeJSON[[]AlignmentJSON](t, resp)
+	if len(got) != len(want.Matches) {
+		t.Fatalf("fetched %d matches, want %d", len(got), len(want.Matches))
+	}
+	for i, m := range want.Matches {
+		g := got[i]
+		if g.Frame != m.Frame.String() || g.NucStart == nil || *g.NucStart != m.NucStart ||
+			g.NucEnd == nil || *g.NucEnd != m.NucEnd || g.Query != proteins.ID(m.Protein) {
+			t.Fatalf("genome match %d over HTTP differs:\nwant %+v\n got %+v", i, m, g)
+		}
+	}
+}
+
+func TestHTTPValidationAndMetrics(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	for name, body := range map[string]JobRequestJSON{
+		"no query":           {Subject: []SequenceJSON{{ID: "s", Seq: "MKV"}}},
+		"subject and genome": {Query: []SequenceJSON{{ID: "q", Seq: "MKV"}}, Subject: []SequenceJSON{{ID: "s", Seq: "MKV"}}, Genome: "ACGT"},
+		"neither":            {Query: []SequenceJSON{{ID: "q", Seq: "MKV"}}},
+		"bad residue":        {Query: []SequenceJSON{{ID: "q", Seq: "M1V"}}, Subject: []SequenceJSON{{ID: "s", Seq: "MKV"}}},
+		"bad engine":         {Query: []SequenceJSON{{ID: "q", Seq: "MKV"}}, Subject: []SequenceJSON{{ID: "s", Seq: "MKV"}}, Options: OptionsJSON{Engine: "gpu"}},
+		"bad nucleotide":     {Query: []SequenceJSON{{ID: "q", Seq: "MKV"}}, Genome: "ACGZ"},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/jobs", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	// A healthy round trip, then the metrics reflect it.
+	b0, b1 := testWorkload(t, 6, 51)
+	if _, err := svc.Compare(context.Background(), b0, b1, testOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Compare(context.Background(), b0, b1, testOptions()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"seedservd_requests_completed_total 2",
+		"seedservd_index_cache_hits_total 1",
+		"seedservd_index_cache_misses_total 1",
+		"seedservd_index_cache_hit_rate 0.5",
+		`seedservd_stage_busy_seconds_total{stage="step2"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+}

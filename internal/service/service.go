@@ -1,0 +1,525 @@
+// Package service is the comparison-as-a-service layer: a long-lived,
+// concurrency-safe front end over the streaming shard engine (package
+// pipeline, driven through package core). The paper's host/accelerator
+// split assumes one batch job; a production deployment instead sees
+// many concurrent query banks against a small set of hot subject
+// banks. The service exploits that regime three ways:
+//
+//   - Shared subject indexes. Step 1 of the paper's algorithm is pure
+//     preprocessing of the subject bank, so its product is cached in an
+//     LRU keyed by (bank fingerprint, seed model, N) and shared across
+//     requests. Singleflight build semantics mean a burst of requests
+//     against a cold subject pays for exactly one build.
+//   - Bounded admission. A semaphore caps how many comparisons run
+//     simultaneously, so K requests stream through the engine without
+//     oversubscribing the step-2 backend or the host; the rest queue.
+//   - Async jobs. Submit returns immediately with a pollable Job;
+//     synchronous Compare/CompareGenome wrap the same path.
+//
+// Every request runs through core.CompareContext, so results are
+// bit-identical to a standalone core.Compare call with the same
+// options. cmd/seedservd exposes the service over HTTP+JSON.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/core"
+	"seedblast/internal/gapped"
+	"seedblast/internal/index"
+)
+
+// Config tunes the service. The zero value gets sensible defaults.
+type Config struct {
+	// MaxConcurrent is the admission bound: how many comparisons may
+	// run at once. Requests beyond it queue (FIFO over a semaphore).
+	// Zero or negative means 2.
+	MaxConcurrent int
+	// CacheEntries is the subject-index LRU capacity in indexes.
+	// Zero or negative means 8.
+	CacheEntries int
+	// MaxJobsRetained caps how many finished jobs stay pollable; once
+	// exceeded, the oldest finished jobs are dropped (queued and
+	// running jobs are never dropped). Bounds a long-lived daemon's
+	// memory. Zero or negative means 256.
+	MaxJobsRetained int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 8
+	}
+	if c.MaxJobsRetained <= 0 {
+		c.MaxJobsRetained = 256
+	}
+	return c
+}
+
+// Request describes one comparison. Exactly one of Subject (bank vs
+// bank) or Genome (protein bank vs genome, tblastn-style) must be set.
+type Request struct {
+	Query   *bank.Bank
+	Subject *bank.Bank
+	Genome  []byte // encoded DNA (alphabet.EncodeDNA)
+	// Options parameterises the run. Zero Seed/Matrix/UngappedThreshold
+	// fall back to core.DefaultOptions; Options.SubjectIndex is managed
+	// by the service and overwritten.
+	Options core.Options
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one asynchronous comparison. All accessors are safe for
+// concurrent use.
+type Job struct {
+	id     string
+	req    *Request
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *core.Result
+	genome    *core.GenomeResult
+	err       error
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Request returns the request the job was submitted with (treated as
+// immutable after Submit).
+func (j *Job) Request() *Request { return j.req }
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Times returns the submitted/started/finished timestamps; zero values
+// mean the phase has not been reached.
+func (j *Job) Times() (submitted, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submitted, j.started, j.finished
+}
+
+// Err returns the job's failure, nil unless State is JobFailed.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Result returns the bank-vs-bank result once the job is done (nil for
+// genome jobs or unfinished ones).
+func (j *Job) Result() *core.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// GenomeResult returns the genome-mode result once the job is done.
+func (j *Job) GenomeResult() *core.GenomeResult {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.genome
+}
+
+// Done returns a channel closed when the job finishes (done or failed).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel stops the job; a queued job fails without running, a running
+// one is cancelled through its context.
+func (j *Job) Cancel() { j.cancel() }
+
+// Wait blocks until the job finishes or ctx is cancelled.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// MetricsSnapshot is a point-in-time view of the service's counters.
+type MetricsSnapshot struct {
+	Submitted int64 // requests accepted (sync + async)
+	Completed int64
+	Failed    int64
+	Running   int // comparisons currently admitted
+	Waiting   int // requests blocked on admission or on a shared index build
+
+	Cache        CacheStats
+	CacheHitRate float64
+
+	// Per-stage busy time summed over all completed runs (the engine's
+	// Metrics accounting), plus total engine wall time. IndexBusy only
+	// grows when an index is actually built, so its ratio to Step2Busy
+	// shrinks as the cache gets hotter.
+	IndexBusy time.Duration
+	Step2Busy time.Duration
+	Step3Busy time.Duration
+	Wall      time.Duration
+
+	Alignments int64 // alignments reported across completed runs
+}
+
+// Service is the comparison service. Create with New; all methods are
+// safe for concurrent use.
+type Service struct {
+	cfg      Config
+	sem      chan struct{}
+	buildSem chan struct{} // bounds concurrent cold index builds
+	cache    *indexCache
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	seq     int
+	closed  bool
+	running int
+	waiting int
+
+	submitted  int64
+	completed  int64
+	failed     int64
+	indexBusy  time.Duration
+	step2Busy  time.Duration
+	step3Busy  time.Duration
+	wall       time.Duration
+	alignments int64
+
+	wg sync.WaitGroup // outstanding async jobs
+}
+
+// New returns a ready service.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		buildSem: make(chan struct{}, cfg.MaxConcurrent),
+		cache:    newIndexCache(cfg.CacheEntries),
+		jobs:     make(map[string]*Job),
+	}
+}
+
+// Config returns the resolved configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Compare runs a bank-vs-bank comparison synchronously through the
+// service (shared index cache + admission). Results are bit-identical
+// to core.CompareContext with the same options.
+func (s *Service) Compare(ctx context.Context, query, subject *bank.Bank, opt core.Options) (*core.Result, error) {
+	res, _, err := s.run(ctx, &Request{Query: query, Subject: subject, Options: opt}, nil)
+	return res, err
+}
+
+// CompareGenome runs a protein-vs-genome comparison synchronously
+// through the service. The genome's six-frame index is cached like any
+// subject bank, keyed by genome digest, genetic code, seed and N.
+func (s *Service) CompareGenome(ctx context.Context, query *bank.Bank, genome []byte, opt core.Options) (*core.GenomeResult, error) {
+	_, gres, err := s.run(ctx, &Request{Query: query, Genome: genome, Options: opt}, nil)
+	return gres, err
+}
+
+// Submit accepts a request for asynchronous execution and returns its
+// Job immediately. The job runs as soon as admission allows.
+func (s *Service) Submit(req *Request) (*Job, error) {
+	if err := validate(req); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("service: closed")
+	}
+	s.seq++
+	j := &Job{
+		id:        fmt.Sprintf("job-%d", s.seq),
+		req:       req,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     JobQueued,
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pruneJobsLocked()
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		res, gres, err := s.run(ctx, req, func() {
+			j.mu.Lock()
+			j.state = JobRunning
+			j.started = time.Now()
+			j.mu.Unlock()
+		})
+		j.mu.Lock()
+		j.finished = time.Now()
+		if err != nil {
+			j.state = JobFailed
+			j.err = err
+		} else {
+			j.state = JobDone
+			j.result = res
+			j.genome = gres
+		}
+		j.mu.Unlock()
+		close(j.done)
+		s.mu.Lock()
+		s.pruneJobsLocked()
+		s.mu.Unlock()
+	}()
+	return j, nil
+}
+
+// pruneJobsLocked drops the oldest finished jobs beyond
+// MaxJobsRetained so a long-lived service's job store stays bounded.
+// Queued and running jobs are never dropped. Caller holds s.mu.
+func (s *Service) pruneJobsLocked() {
+	excess := len(s.order) - s.cfg.MaxJobsRetained
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		finished := false
+		select {
+		case <-j.done:
+			finished = true
+		default:
+		}
+		if excess > 0 && finished {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job returns the job with the given id.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Close stops accepting new jobs and waits for outstanding ones.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Metrics returns a snapshot of the service counters.
+func (s *Service) Metrics() MetricsSnapshot {
+	cs := s.cache.snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return MetricsSnapshot{
+		Submitted:    s.submitted,
+		Completed:    s.completed,
+		Failed:       s.failed,
+		Running:      s.running,
+		Waiting:      s.waiting,
+		Cache:        cs,
+		CacheHitRate: cs.HitRate(),
+		IndexBusy:    s.indexBusy,
+		Step2Busy:    s.step2Busy,
+		Step3Busy:    s.step3Busy,
+		Wall:         s.wall,
+		Alignments:   s.alignments,
+	}
+}
+
+func validate(req *Request) error {
+	if req == nil || req.Query == nil {
+		return fmt.Errorf("service: request needs a query bank")
+	}
+	if (req.Subject == nil) == (req.Genome == nil) {
+		return fmt.Errorf("service: request needs exactly one of Subject or Genome")
+	}
+	return nil
+}
+
+// resolveOptions fills unset core options from the defaults so HTTP
+// callers can send sparse option sets. An entirely zero Gapped config
+// takes the full step-3 defaults (matching the HTTP layer and the
+// historical core.Compare behaviour, gap-trigger pre-filter included);
+// a partially-set one is completed field-by-field downstream by
+// core's gappedConfig.
+func resolveOptions(opt core.Options) core.Options {
+	def := core.DefaultOptions()
+	if opt.Seed == nil {
+		opt.Seed = def.Seed
+		if opt.N == 0 {
+			opt.N = def.N
+		}
+	}
+	if opt.Matrix == nil {
+		opt.Matrix = def.Matrix
+	}
+	if opt.UngappedThreshold == 0 {
+		opt.UngappedThreshold = def.UngappedThreshold
+	}
+	if opt.Gapped == (gapped.Config{}) {
+		opt.Gapped = def.Gapped
+	}
+	return opt
+}
+
+// subjectKey returns the cache key and builder for the request's
+// subject index.
+func (s *Service) subjectKey(req *Request, opt core.Options) (string, func() (*index.Index, error)) {
+	if req.Genome != nil {
+		sum := sha256.Sum256(req.Genome)
+		key := fmt.Sprintf("genome/%s/%s/%s",
+			hex.EncodeToString(sum[:]), opt.Code().Name(),
+			index.ModelIdentity(opt.Seed, opt.N))
+		return key, func() (*index.Index, error) {
+			fb := core.FrameBank(req.Genome, opt)
+			return index.BuildParallel(fb, opt.Seed, opt.N, opt.Workers)
+		}
+	}
+	return index.Fingerprint(req.Subject, opt.Seed, opt.N), func() (*index.Index, error) {
+		return index.BuildParallel(req.Subject, opt.Seed, opt.N, opt.Workers)
+	}
+}
+
+// run is the shared execution path: resolve options, obtain the shared
+// subject index (cache + singleflight), pass admission, run the
+// engine, record metrics. onStart, when non-nil, fires once the
+// request passes admission and actually starts comparing.
+func (s *Service) run(ctx context.Context, req *Request, onStart func()) (*core.Result, *core.GenomeResult, error) {
+	if err := validate(req); err != nil {
+		return nil, nil, err
+	}
+	opt := resolveOptions(req.Options)
+
+	s.mu.Lock()
+	s.submitted++
+	s.waiting++
+	s.mu.Unlock()
+
+	finish := func(res *core.Result, gres *core.GenomeResult, err error) (*core.Result, *core.GenomeResult, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			s.failed++
+			return nil, nil, err
+		}
+		s.completed++
+		pm := res
+		if gres != nil {
+			pm = &gres.Result
+		}
+		s.indexBusy += pm.Pipeline.Index.Busy
+		s.step2Busy += pm.Pipeline.Step2.Busy
+		s.step3Busy += pm.Pipeline.Step3.Busy
+		s.wall += pm.Pipeline.Wall
+		s.alignments += int64(len(pm.Alignments))
+		return res, gres, nil
+	}
+
+	// The index build/lookup happens outside the admission gate: a
+	// build is one-off per subject (singleflight), and keeping waiters
+	// out of the semaphore means a slow build never pins a compare
+	// slot. Cold builds have their own bound of the same size, so a
+	// burst against many distinct cold subjects cannot oversubscribe
+	// the host with parallel builds. The build itself deliberately
+	// ignores the requester's context: concurrent waiters share its
+	// result, so cancelling the request that happened to arrive first
+	// must not poison everyone else — ctx only bounds this caller's
+	// wait (inside cache.get).
+	key, build := s.subjectKey(req, opt)
+	gatedBuild := func() (*index.Index, error) {
+		s.buildSem <- struct{}{}
+		defer func() { <-s.buildSem }()
+		return build()
+	}
+	ix, err := s.cache.get(ctx, key, gatedBuild)
+	if err != nil {
+		s.mu.Lock()
+		s.waiting--
+		s.mu.Unlock()
+		return finish(nil, nil, fmt.Errorf("service: subject index: %w", err))
+	}
+	opt.SubjectIndex = ix
+
+	// Admission: at most MaxConcurrent comparisons in flight.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.waiting--
+		s.mu.Unlock()
+		return finish(nil, nil, ctx.Err())
+	}
+	s.mu.Lock()
+	s.waiting--
+	s.running++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+		<-s.sem
+	}()
+	if onStart != nil {
+		onStart()
+	}
+
+	if req.Genome != nil {
+		gres, err := core.CompareGenomeContext(ctx, req.Query, req.Genome, opt)
+		return finish(nil, gres, err)
+	}
+	res, err := core.CompareContext(ctx, req.Query, req.Subject, opt)
+	return finish(res, nil, err)
+}

@@ -1,0 +1,441 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/core"
+	"seedblast/internal/gapped"
+	"seedblast/internal/index"
+)
+
+// testWorkload returns a query bank and a subject bank holding mutated
+// copies of the queries, so the pipeline finds real alignments.
+func testWorkload(t testing.TB, n int, seed int64) (*bank.Bank, *bank.Bank) {
+	t.Helper()
+	b0 := bank.GenerateProteins(bank.ProteinConfig{N: n, MeanLen: 100, LenJitter: 25, Seed: seed})
+	rng := bank.NewRNG(seed + 1000)
+	b1 := bank.New("subjects")
+	for i := 0; i < b0.Len(); i++ {
+		b1.Add(fmt.Sprintf("s%d", i), bank.MutateProtein(rng, b0.Seq(i), 0.15))
+	}
+	return b0, b1
+}
+
+func testOptions() core.Options {
+	opt := core.DefaultOptions()
+	opt.Workers = 1
+	g := gapped.DefaultConfig()
+	g.MaxEValue = 10
+	g.Workers = 1
+	opt.Gapped = g
+	return opt
+}
+
+func assertSameResult(t *testing.T, want, got *core.Result) {
+	t.Helper()
+	if want.Hits != got.Hits || want.Pairs != got.Pairs {
+		t.Fatalf("hits/pairs differ: want %d/%d, got %d/%d", want.Hits, want.Pairs, got.Hits, got.Pairs)
+	}
+	if len(want.Alignments) != len(got.Alignments) {
+		t.Fatalf("alignment counts differ: want %d, got %d", len(want.Alignments), len(got.Alignments))
+	}
+	for i := range want.Alignments {
+		w, g := want.Alignments[i], got.Alignments[i]
+		if w.Seq0 != g.Seq0 || w.Seq1 != g.Seq1 || w.Score != g.Score ||
+			w.EValue != g.EValue || w.Q != g.Q || w.S != g.S {
+			t.Fatalf("alignment %d differs:\nwant %+v\n got %+v", i, w, g)
+		}
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := newIndexCache(4)
+	b := bank.GenerateProteins(bank.ProteinConfig{N: 4, MeanLen: 60, Seed: 1})
+	opt := testOptions()
+
+	var builds atomic.Int32
+	build := func() (*index.Index, error) {
+		builds.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the singleflight window
+		return index.BuildParallel(b, opt.Seed, opt.N, 1)
+	}
+
+	const waiters = 8
+	got := make([]*index.Index, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ix, err := c.get(context.Background(), "k", build)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = ix
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("%d builds for one key under concurrency, want 1 (singleflight)", n)
+	}
+	for i := 1; i < waiters; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("waiter %d received a different index instance", i)
+		}
+	}
+	st := c.snapshot()
+	if st.Misses != 1 || st.Hits != waiters-1 {
+		t.Errorf("cache stats = %+v, want 1 miss and %d hits", st, waiters-1)
+	}
+}
+
+func TestCacheFailedBuildNotCached(t *testing.T) {
+	c := newIndexCache(4)
+	var calls atomic.Int32
+	failing := func() (*index.Index, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("boom")
+	}
+	if _, err := c.get(context.Background(), "k", failing); err == nil {
+		t.Fatal("expected build error")
+	}
+	if _, err := c.get(context.Background(), "k", failing); err == nil {
+		t.Fatal("expected build error on retry")
+	}
+	if calls.Load() != 2 {
+		t.Errorf("failed build was cached: %d calls, want 2", calls.Load())
+	}
+	if st := c.snapshot(); st.Entries != 0 {
+		t.Errorf("failed entries left resident: %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newIndexCache(2)
+	b := bank.GenerateProteins(bank.ProteinConfig{N: 2, MeanLen: 40, Seed: 5})
+	opt := testOptions()
+	mk := func() (*index.Index, error) { return index.BuildParallel(b, opt.Seed, opt.N, 1) }
+	for _, k := range []string{"a", "b", "a", "c"} { // touches keep "a" hot, "b" is LRU
+		if _, err := c.get(context.Background(), k, mk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.snapshot()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats after eviction = %+v, want 2 entries, 1 eviction", st)
+	}
+	// "a" must still be resident (hit), "b" must have been evicted (miss).
+	misses := st.Misses
+	if _, err := c.get(context.Background(), "a", mk); err != nil {
+		t.Fatal(err)
+	}
+	if st = c.snapshot(); st.Misses != misses {
+		t.Error(`hot entry "a" was evicted instead of LRU "b"`)
+	}
+	if _, err := c.get(context.Background(), "b", mk); err != nil {
+		t.Fatal(err)
+	}
+	if st = c.snapshot(); st.Misses != misses+1 {
+		t.Error(`LRU entry "b" unexpectedly still resident`)
+	}
+}
+
+func TestServiceMatchesCore(t *testing.T) {
+	b0, b1 := testWorkload(t, 10, 3)
+	opt := testOptions()
+	want, err := core.Compare(b0, b1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Alignments) == 0 {
+		t.Fatal("workload produced no alignments")
+	}
+	svc := New(Config{})
+	defer svc.Close()
+	got, err := svc.Compare(context.Background(), b0, b1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, want, got)
+
+	m := svc.Metrics()
+	if m.Completed != 1 || m.Cache.Misses != 1 {
+		t.Errorf("metrics after one request: %+v", m)
+	}
+
+	// Second identical request: cache hit, identical result.
+	got2, err := svc.Compare(context.Background(), b0, b1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, want, got2)
+	m = svc.Metrics()
+	if m.Cache.Hits != 1 {
+		t.Errorf("second request did not hit the index cache: %+v", m.Cache)
+	}
+	if m.CacheHitRate != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", m.CacheHitRate)
+	}
+}
+
+// Concurrent requests through the service against one shared subject
+// bank: every response bit-identical to the sequential reference, one
+// index build total. Run under -race in CI.
+func TestServiceConcurrentBitIdentical(t *testing.T) {
+	b0a, b1 := testWorkload(t, 12, 7)
+	b0b := bank.GenerateProteins(bank.ProteinConfig{N: 9, MeanLen: 100, LenJitter: 25, Seed: 7}) // prefix queries
+	opt := testOptions()
+
+	refA, err := core.Compare(b0a, b1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB, err := core.Compare(b0b, b1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := New(Config{MaxConcurrent: 3, CacheEntries: 4})
+	defer svc.Close()
+
+	const rounds = 10
+	var wg sync.WaitGroup
+	errs := make([]error, rounds)
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q, want := b0a, refA
+			if i%2 == 1 {
+				q, want = b0b, refB
+			}
+			got, err := svc.Compare(context.Background(), q, b1, opt)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			assertSameResult(t, want, got)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	m := svc.Metrics()
+	if m.Cache.Misses != 1 {
+		t.Errorf("%d index builds for one hot subject bank, want 1 (singleflight+cache): %+v",
+			m.Cache.Misses, m.Cache)
+	}
+	if m.Completed != rounds {
+		t.Errorf("completed = %d, want %d", m.Completed, rounds)
+	}
+	if m.Running != 0 || m.Waiting != 0 {
+		t.Errorf("gauges not drained: %+v", m)
+	}
+}
+
+func TestServiceGenomeCached(t *testing.T) {
+	proteins := bank.GenerateProteins(bank.ProteinConfig{N: 8, MeanLen: 110, LenJitter: 20, Seed: 41})
+	genome, _, err := bank.GenerateGenome(bank.GenomeConfig{
+		Length: 40_000, Source: proteins, PlantCount: 4, PlantSubRate: 0.1, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := testOptions()
+	want, err := core.CompareGenome(proteins, genome, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Matches) == 0 {
+		t.Fatal("no genome matches in reference run")
+	}
+
+	svc := New(Config{})
+	defer svc.Close()
+	for round := 0; round < 2; round++ {
+		got, err := svc.CompareGenome(context.Background(), proteins, genome, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, &want.Result, &got.Result)
+		if len(got.Matches) != len(want.Matches) {
+			t.Fatalf("round %d: %d matches, want %d", round, len(got.Matches), len(want.Matches))
+		}
+		for i := range want.Matches {
+			if want.Matches[i].NucStart != got.Matches[i].NucStart ||
+				want.Matches[i].NucEnd != got.Matches[i].NucEnd ||
+				want.Matches[i].Frame != got.Matches[i].Frame {
+				t.Fatalf("round %d: genome match %d differs", round, i)
+			}
+		}
+	}
+	if m := svc.Metrics(); m.Cache.Hits != 1 || m.Cache.Misses != 1 {
+		t.Errorf("genome frame index not cached across runs: %+v", m.Cache)
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	b0, b1 := testWorkload(t, 8, 11)
+	svc := New(Config{})
+
+	j, err := svc.Submit(&Request{Query: b0, Subject: b1, Options: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if j.State() != JobDone {
+		t.Fatalf("state = %s, want done", j.State())
+	}
+	if j.Result() == nil || len(j.Result().Alignments) == 0 {
+		t.Fatal("done job has no result")
+	}
+	sub, started, fin := j.Times()
+	if sub.IsZero() || started.IsZero() || fin.IsZero() || fin.Before(started) {
+		t.Errorf("inconsistent job times: %v %v %v", sub, started, fin)
+	}
+	if got, ok := svc.Job(j.ID()); !ok || got != j {
+		t.Error("Job lookup by id failed")
+	}
+	if all := svc.Jobs(); len(all) != 1 || all[0] != j {
+		t.Error("Jobs() does not list the job")
+	}
+
+	// Validation.
+	if _, err := svc.Submit(&Request{Query: b0}); err == nil {
+		t.Error("request without subject or genome accepted")
+	}
+	if _, err := svc.Submit(&Request{Query: b0, Subject: b1, Genome: []byte{0}}); err == nil {
+		t.Error("request with both subject and genome accepted")
+	}
+
+	svc.Close()
+	if _, err := svc.Submit(&Request{Query: b0, Subject: b1}); err == nil {
+		t.Error("Submit after Close accepted")
+	}
+}
+
+func TestJobCancel(t *testing.T) {
+	b0, b1 := testWorkload(t, 30, 13)
+	svc := New(Config{MaxConcurrent: 1})
+	defer svc.Close()
+
+	// Occupy the only slot so the second job sits in admission, then
+	// cancel it there.
+	first, err := svc.Submit(&Request{Query: b0, Subject: b1, Options: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := svc.Submit(&Request{Query: b0, Subject: b1, Options: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.Cancel()
+	_ = second.Wait(context.Background())
+	if err := first.Wait(context.Background()); err != nil {
+		t.Fatalf("first job: %v", err)
+	}
+	// The cancelled job either failed with a context error or finished
+	// if it had already been admitted; both are legal. What must hold:
+	// both jobs finished and the service gauges drained.
+	if s := second.State(); s != JobFailed && s != JobDone {
+		t.Errorf("cancelled job state = %s", s)
+	}
+	if m := svc.Metrics(); m.Running != 0 || m.Waiting != 0 {
+		t.Errorf("gauges not drained after cancel: %+v", m)
+	}
+}
+
+// The headline claim: repeated requests against a hot subject bank are
+// cheaper through the service (shared index) than naive per-request
+// core.Compare calls that rebuild the subject index every time.
+func BenchmarkServiceConcurrent(b *testing.B) {
+	b0, b1 := testWorkload(b, 24, 17)
+	opt := testOptions()
+	svc := New(Config{MaxConcurrent: 4, CacheEntries: 4})
+	defer svc.Close()
+	// Warm the cache so steady-state behaviour is measured.
+	if _, err := svc.Compare(context.Background(), b0, b1, opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := svc.Compare(context.Background(), b0, b1, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkNaiveConcurrent is the baseline BenchmarkServiceConcurrent
+// beats: the same workload with per-request core.Compare, rebuilding
+// the subject index on every call.
+func BenchmarkNaiveConcurrent(b *testing.B) {
+	b0, b1 := testWorkload(b, 24, 17)
+	opt := testOptions()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := core.Compare(b0, b1, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestJobRetentionBounded(t *testing.T) {
+	b0, b1 := testWorkload(t, 4, 61)
+	svc := New(Config{MaxJobsRetained: 2})
+	defer svc.Close()
+	var last *Job
+	for i := 0; i < 5; i++ {
+		j, err := svc.Submit(&Request{Query: b0, Subject: b1, Options: testOptions()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		last = j
+	}
+	jobs := svc.Jobs()
+	if len(jobs) > 2 {
+		t.Fatalf("retained %d finished jobs, cap is 2", len(jobs))
+	}
+	if _, ok := svc.Job(last.ID()); !ok {
+		t.Error("newest job was pruned; only the oldest finished jobs should be")
+	}
+	if _, ok := svc.Job("job-1"); ok {
+		t.Error("oldest finished job survived past the retention cap")
+	}
+}
+
+// A zero Options through the service must behave exactly like
+// core.Compare with DefaultOptions — including the gap-trigger
+// pre-filter, which a zero gapped.Config would silently disable.
+func TestZeroOptionsMatchDefaults(t *testing.T) {
+	b0, b1 := testWorkload(t, 8, 71)
+	want, err := core.Compare(b0, b1, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{})
+	defer svc.Close()
+	got, err := svc.Compare(context.Background(), b0, b1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, want, got)
+}
