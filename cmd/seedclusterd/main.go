@@ -1,0 +1,118 @@
+// Command seedclusterd is the scatter-gather coordinator daemon: it
+// speaks the same submit/poll/fetch/cancel HTTP+JSON job API as
+// seedservd, but behind every job it partitions the subject bank into
+// volumes, scatters one comparison per volume across a set of
+// seedservd workers (each job carrying the full bank's search-space
+// geometry, so per-volume E-values match the unpartitioned run), and
+// gathers the merged, globally re-ranked alignments. Failed workers
+// are retried around; /cluster/metrics exposes per-worker latency,
+// retry counts and volume skew.
+//
+//	# two workers, then the coordinator over them:
+//	seedservd -addr 127.0.0.1:8845 &
+//	seedservd -addr 127.0.0.1:8846 &
+//	seedclusterd -addr :8844 \
+//	  -workers http://127.0.0.1:8845,http://127.0.0.1:8846 \
+//	  -strategy size -volumes 4
+//
+//	# exactly the seedservd client flow:
+//	curl -s localhost:8844/v1/jobs -d '{"query":[{"id":"q0","seq":"MKV..."}],
+//	  "subject":[{"id":"s0","seq":"MKI..."}],"options":{"maxEValue":10}}'
+//	curl -s localhost:8844/v1/jobs/cjob-1
+//	curl -s localhost:8844/v1/jobs/cjob-1/alignments
+//	curl -s localhost:8844/cluster/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"seedblast/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seedclusterd: ")
+
+	var (
+		addr        = flag.String("addr", ":8844", "listen address")
+		workers     = flag.String("workers", "", "comma-separated seedservd base URLs (required)")
+		strategy    = flag.String("strategy", "size", "partitioning strategy: size (balanced residues) or seqcount (contiguous)")
+		volumes     = flag.Int("volumes", 0, "volumes per request (0 = one per worker)")
+		maxAttempts = flag.Int("max-attempts", 0, "distinct workers tried per volume before the request fails (0 = all)")
+		fanOut      = flag.Int("fan-out", 0, "volume jobs in flight at once per request (0 = one per worker)")
+		poll        = flag.Duration("poll-interval", 25*time.Millisecond, "worker job poll cadence")
+		maxJobs     = flag.Int("max-jobs", 256, "finished jobs kept pollable before the oldest are dropped")
+		jobTTL      = flag.Duration("job-ttl", 15*time.Minute, "finished jobs expire after this age (negative disables)")
+		maxQueued   = flag.Int("max-queued", 1024, "unfinished jobs accepted before submissions get 503")
+		waitWorkers = flag.Duration("wait-workers", 0, "wait up to this long for all workers to report healthy before serving")
+	)
+	flag.Parse()
+
+	urls := splitWorkers(*workers)
+	if len(urls) == 0 {
+		log.Fatal("at least one -workers URL is required")
+	}
+	part, err := cluster.PartitionerByName(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coord, err := cluster.New(cluster.Config{
+		Workers:      urls,
+		Partitioner:  part,
+		Volumes:      *volumes,
+		MaxAttempts:  *maxAttempts,
+		FanOut:       *fanOut,
+		PollInterval: *poll,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *waitWorkers > 0 {
+		wctx, wcancel := context.WithTimeout(context.Background(), *waitWorkers)
+		err := coord.WaitHealthy(wctx)
+		wcancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           cluster.NewHandler(cluster.NewServer(coord, cluster.ServerConfig{MaxJobsRetained: *maxJobs, JobTTL: *jobTTL, MaxQueued: *maxQueued})),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+
+	log.Printf("listening on %s (workers=%d strategy=%s volumes=%d)",
+		*addr, len(urls), part.Name(), coord.Config().Volumes)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}
+
+func splitWorkers(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -36,6 +36,8 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", 2, "comparisons admitted at once (worker pool size)")
 		cacheEntries  = flag.Int("cache-entries", 8, "subject-index LRU cache capacity")
 		maxJobs       = flag.Int("max-jobs", 256, "finished jobs kept pollable before the oldest are dropped")
+		jobTTL        = flag.Duration("job-ttl", 15*time.Minute, "finished jobs expire after this age (negative disables)")
+		maxQueued     = flag.Int("max-queued", 1024, "unfinished jobs accepted before submissions are rejected")
 	)
 	flag.Parse()
 
@@ -43,6 +45,8 @@ func main() {
 		MaxConcurrent:   *maxConcurrent,
 		CacheEntries:    *cacheEntries,
 		MaxJobsRetained: *maxJobs,
+		JobTTL:          *jobTTL,
+		MaxQueued:       *maxQueued,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,7 +1,8 @@
 package seedblast_test
 
 import (
-	"encoding/json"
+	"context"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -10,6 +11,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"seedblast/internal/service"
 )
 
 // buildTool compiles one command into a temp dir and returns its path.
@@ -100,126 +103,151 @@ func TestCmdPsctraceSmoke(t *testing.T) {
 	}
 }
 
-// TestCmdSeedservdSmoke drives the comparison service end to end over
-// real HTTP: start the daemon, submit a bank-vs-bank job, poll it to
-// completion, fetch the alignments, and read /metrics.
-func TestCmdSeedservdSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("cmd smoke tests in -short mode")
-	}
-	bin := buildTool(t, "cmd/seedservd")
-
+// freeAddr reserves an ephemeral localhost address for a daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	addr := ln.Addr().String()
 	ln.Close()
+	return addr
+}
 
-	cmd := exec.Command(bin, "-addr", addr, "-max-concurrent", "2")
+// startDaemon launches a built daemon binary and tears it down with
+// the test.
+func startDaemon(t *testing.T, bin string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
+	t.Cleanup(func() {
 		cmd.Process.Kill()
 		cmd.Wait()
-	}()
-	base := "http://" + addr
+	})
+}
 
-	// Wait for the server to come up.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		resp, err := http.Get(base + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("seedservd did not come up on %s: %v", addr, err)
-		}
-		time.Sleep(25 * time.Millisecond)
+// smokeJob is the shared submit→poll→fetch flow: a query with a
+// strong self-match in the subject bank, driven through the reusable
+// service client against whatever daemon base is (a worker or the
+// cluster coordinator — same API).
+func smokeJob(t *testing.T, base string) {
+	t.Helper()
+	cl := service.NewClient(base, service.ClientConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cl.WaitHealthy(ctx); err != nil {
+		t.Fatal(err)
 	}
 
-	// A query with a strong self-match in the subject bank.
-	body := `{
-	  "query":   [{"id": "q0", "seq": "MKVLITGASGFIGSHLVDRLMSKGYEVIGLDNFNDYYDVRLKEARLELL"}],
-	  "subject": [{"id": "s0", "seq": "MKVLITGASGFIGSHLVDRLMSKGYEVIGLDNFNDYYDVRLKEARLELL"},
-	              {"id": "s1", "seq": "AWQETNPNNSWGWSQERLAELAAEYDVDAIRPGRGLHLMSSRSHATTAW"}],
-	  "options": {"maxEValue": 1}
-	}`
-	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	ev := 1.0
+	id, err := cl.Submit(ctx, &service.JobRequestJSON{
+		Query: []service.SequenceJSON{{ID: "q0", Seq: "MKVLITGASGFIGSHLVDRLMSKGYEVIGLDNFNDYYDVRLKEARLELL"}},
+		Subject: []service.SequenceJSON{
+			{ID: "s0", Seq: "MKVLITGASGFIGSHLVDRLMSKGYEVIGLDNFNDYYDVRLKEARLELL"},
+			{ID: "s1", Seq: "AWQETNPNNSWGWSQERLAELAAEYDVDAIRPGRGLHLMSSRSHATTAW"},
+			{ID: "s2", Seq: "GGSGGSGGSGGSGGSGGSGGSGGSGGSGGSGGSGGSGGSGGSGGSGGSG"},
+		},
+		Options: service.OptionsJSON{MaxEValue: &ev},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sub struct{ ID, State string }
-	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if sub.ID == "" {
-		t.Fatal("submit returned no job id")
-	}
-
-	// Fresh deadline: the startup wait above may have consumed most of
-	// the first one on a loaded host.
-	deadline = time.Now().Add(10 * time.Second)
-	var state string
-	for time.Now().Before(deadline) {
-		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var st struct {
-			State string
-			Error string
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		state = st.State
-		if state == "done" {
-			break
-		}
-		if state == "failed" {
-			t.Fatalf("job failed: %s", st.Error)
-		}
-		time.Sleep(25 * time.Millisecond)
-	}
-	if state != "done" {
-		t.Fatalf("job stuck in state %q", state)
-	}
-
-	resp, err = http.Get(base + "/v1/jobs/" + sub.ID + "/alignments")
+	st, err := cl.Wait(ctx, id, 25*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var aligns []struct {
-		Query   string
-		Subject string
-		Score   int
-		EValue  float64
+	if st.State != "done" {
+		t.Fatalf("job %s: %s", st.State, st.Error)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&aligns); err != nil {
+	aligns, err := cl.Alignments(ctx, id)
+	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
 	if len(aligns) == 0 {
 		t.Fatal("no alignments for an exact self-match")
 	}
 	if aligns[0].Query != "q0" || aligns[0].Subject != "s0" {
 		t.Errorf("top alignment %+v, want q0 vs s0", aligns[0])
 	}
+}
 
-	resp, err = http.Get(base + "/metrics")
+// fetchMetrics reads a daemon's Prometheus endpoint.
+func fetchMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
 	if err != nil {
 		t.Fatal(err)
 	}
-	metrics, _ := io.ReadAll(resp.Body)
+	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	return string(body)
+}
+
+// TestCmdSeedservdSmoke drives the comparison service end to end over
+// real HTTP: start the daemon, submit a bank-vs-bank job through the
+// reusable service client, poll it to completion, fetch the
+// alignments, and read /metrics.
+func TestCmdSeedservdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests in -short mode")
+	}
+	bin := buildTool(t, "cmd/seedservd")
+	addr := freeAddr(t)
+	startDaemon(t, bin, "-addr", addr, "-max-concurrent", "2")
+	base := "http://" + addr
+
+	smokeJob(t, base)
+
+	metrics := fetchMetrics(t, base+"/metrics")
 	for _, want := range []string{"seedservd_requests_completed_total 1", "seedservd_index_cache_misses_total 1"} {
-		if !strings.Contains(string(metrics), want) {
+		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, metrics)
 		}
+	}
+}
+
+// TestCmdSeedclusterdSmoke boots two real seedservd workers plus the
+// seedclusterd coordinator over them and runs the same scatter-gather
+// job flow through the same client — the coordinator is
+// indistinguishable from a worker at the API level — then checks the
+// cluster metrics recorded per-worker volume traffic.
+func TestCmdSeedclusterdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests in -short mode")
+	}
+	workerBin := buildTool(t, "cmd/seedservd")
+	clusterBin := buildTool(t, "cmd/seedclusterd")
+
+	w1, w2 := freeAddr(t), freeAddr(t)
+	startDaemon(t, workerBin, "-addr", w1, "-max-concurrent", "2")
+	startDaemon(t, workerBin, "-addr", w2, "-max-concurrent", "2")
+
+	caddr := freeAddr(t)
+	startDaemon(t, clusterBin, "-addr", caddr,
+		"-workers", fmt.Sprintf("http://%s,http://%s", w1, w2),
+		"-strategy", "size", "-volumes", "3", "-wait-workers", "30s")
+	base := "http://" + caddr
+
+	smokeJob(t, base)
+
+	metrics := fetchMetrics(t, base+"/cluster/metrics")
+	for _, want := range []string{
+		"seedclusterd_requests_completed_total 1",
+		"seedclusterd_last_volumes 3",
+		"seedclusterd_worker_volumes_total{worker=\"http://" + w1 + "\"}",
+		"seedclusterd_worker_volumes_total{worker=\"http://" + w2 + "\"}",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/cluster/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	// Three volumes over two healthy workers: both must have served at
+	// least one (round-robin placement), with no retries burned.
+	if strings.Contains(metrics, "worker_volumes_total{worker=\"http://"+w1+"\"} 0") ||
+		strings.Contains(metrics, "worker_volumes_total{worker=\"http://"+w2+"\"} 0") {
+		t.Errorf("a healthy worker served no volumes:\n%s", metrics)
 	}
 }

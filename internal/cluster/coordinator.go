@@ -1,0 +1,399 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"seedblast/internal/service"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Workers are the seedservd base URLs the coordinator scatters
+	// over. At least one is required.
+	Workers []string
+	// Partitioner cuts the subject bank into volumes. Nil means
+	// SizeBalanced.
+	Partitioner Partitioner
+	// Volumes is how many volumes each request is cut into. Zero means
+	// one per worker. More volumes than workers is useful when worker
+	// capacity is uneven: volumes queue behind the fan-out bound and
+	// fast workers take more of them — at the cost of more per-volume
+	// overhead.
+	Volumes int
+	// MaxAttempts caps how many distinct workers a volume is tried on
+	// before the whole request fails. Zero means every worker once.
+	MaxAttempts int
+	// FanOut bounds how many volume jobs the coordinator keeps in
+	// flight at once per request. Zero means one per worker.
+	FanOut int
+	// PollInterval is the job-status poll cadence. Zero means 25 ms.
+	PollInterval time.Duration
+	// Client tunes the per-worker HTTP clients (timeouts, retry
+	// backoff for idempotent calls).
+	Client service.ClientConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Partitioner == nil {
+		c.Partitioner = SizeBalanced{}
+	}
+	if c.Volumes <= 0 {
+		c.Volumes = len(c.Workers)
+	}
+	if c.MaxAttempts <= 0 || c.MaxAttempts > len(c.Workers) {
+		c.MaxAttempts = len(c.Workers)
+	}
+	if c.FanOut <= 0 {
+		c.FanOut = len(c.Workers)
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 25 * time.Millisecond
+	}
+	return c
+}
+
+// Coordinator scatters comparison requests across seedservd workers
+// volume by volume and gathers the merged report. It is safe for
+// concurrent use; all state beyond configuration lives in the
+// per-request call frames and the metrics counters.
+type Coordinator struct {
+	cfg     Config
+	clients []*service.Client
+	met     *metrics
+}
+
+// New validates the configuration and returns a coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: at least one worker URL is required")
+	}
+	cfg = cfg.withDefaults()
+	clients := make([]*service.Client, len(cfg.Workers))
+	for i, u := range cfg.Workers {
+		clients[i] = service.NewClient(u, cfg.Client)
+	}
+	return &Coordinator{cfg: cfg, clients: clients, met: newMetrics(cfg.Workers)}, nil
+}
+
+// Config returns the resolved configuration.
+func (c *Coordinator) Config() Config { return c.cfg }
+
+// Metrics returns a snapshot of the coordinator's counters.
+func (c *Coordinator) Metrics() MetricsSnapshot { return c.met.snapshot() }
+
+// WaitHealthy blocks until every worker answers its health probe or
+// ctx is cancelled.
+func (c *Coordinator) WaitHealthy(ctx context.Context) error {
+	for _, cl := range c.clients {
+		if err := cl.WaitHealthy(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VolumeReport describes how one volume of a request was served.
+type VolumeReport struct {
+	Volume     int // volume number
+	Worker     string
+	Seqs       int
+	Residues   int
+	Attempts   int // 1 = no retries
+	Latency    time.Duration
+	Alignments int
+}
+
+// Report is the gathered result of one scatter-gather comparison: the
+// merged, globally re-ranked alignments plus per-volume accounting.
+// Hits/Pairs/WallMS sum the workers' per-volume summaries (aggregate
+// work, not elapsed time).
+type Report struct {
+	Alignments []service.AlignmentJSON
+	Hits       int
+	Pairs      int64
+	WallMS     float64
+	Volumes    int
+	Retries    int // volume attempts beyond the first, summed
+	PerVolume  []VolumeReport
+}
+
+// Compare scatters one comparison across the workers and gathers the
+// merged report. The query goes to every worker; the subject bank is
+// partitioned into volumes, and each volume job carries the full
+// bank's search-space geometry so worker E-values are computed
+// against the whole database. Alignments in the report are
+// bit-identical (values and ranking) to submitting the unpartitioned
+// request to a single worker.
+//
+// On the first volume failure (after per-volume retries across
+// distinct workers are exhausted) the whole request fails and every
+// outstanding worker job is cancelled; cancelling ctx does the same.
+func (c *Coordinator) Compare(ctx context.Context, query, subject []service.SequenceJSON, opt service.OptionsJSON) (*Report, error) {
+	if len(query) == 0 {
+		return nil, fmt.Errorf("cluster: request needs a query bank")
+	}
+	if len(subject) == 0 {
+		return nil, fmt.Errorf("cluster: request needs a subject bank")
+	}
+	query = normalizeIDs("query", query)
+	subject = normalizeIDs("subject", subject)
+	// The gather maps wire ids back to global sequence numbers, so ids
+	// must be unique — a duplicate would silently remap alignments onto
+	// the wrong sequence and break the bit-identical ordering guarantee.
+	// (A single worker tolerates duplicates; the cluster rejects them
+	// loudly rather than return a subtly misordered merge.)
+	if err := checkUniqueIDs("query", query); err != nil {
+		return nil, err
+	}
+	if err := checkUniqueIDs("subject", subject); err != nil {
+		return nil, err
+	}
+
+	lens := make([]int, len(subject))
+	dbLen := 0
+	for i, s := range subject {
+		lens[i] = len(s.Seq)
+		dbLen += lens[i]
+	}
+	vols := c.cfg.Partitioner.Partition(lens, c.cfg.Volumes)
+	if err := checkPartition(lens, vols); err != nil {
+		return nil, fmt.Errorf("%w (partitioner %q)", err, c.cfg.Partitioner.Name())
+	}
+	// The volume context: every worker computes significance against
+	// the full bank, not its slice.
+	opt.SearchSpace = &service.SearchSpaceJSON{DBLen: dbLen, DBSeqs: len(subject)}
+
+	c.met.requestStarted(vols)
+	rep, err := c.scatterGather(ctx, query, subject, opt, vols)
+	c.met.requestDone(err)
+	return rep, err
+}
+
+// volumeResult is one gathered volume.
+type volumeResult struct {
+	status   *service.JobStatusJSON
+	aligns   []service.AlignmentJSON
+	worker   int
+	attempts int
+	latency  time.Duration
+}
+
+func (c *Coordinator) scatterGather(pctx context.Context, query, subject []service.SequenceJSON,
+	opt service.OptionsJSON, vols []Volume) (*Report, error) {
+	ctx, cancel := context.WithCancel(pctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel() // a lost volume sinks the request: stop scattering
+	}
+
+	sem := make(chan struct{}, c.cfg.FanOut)
+	results := make([]volumeResult, len(vols))
+	var wg sync.WaitGroup
+	for vi := range vols {
+		wg.Add(1)
+		go func(vi int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			defer func() { <-sem }()
+			res, err := c.runVolume(ctx, vi, vols[vi], query, subject, opt)
+			if err != nil {
+				fail(err)
+				return
+			}
+			results[vi] = res
+		}(vi)
+	}
+	wg.Wait()
+
+	if perr := pctx.Err(); perr != nil {
+		return nil, perr
+	}
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	// Gather: remap ids to global numbering and re-rank.
+	queryIdx := make(map[string]int, len(query))
+	for i, q := range query {
+		if _, dup := queryIdx[q.ID]; !dup {
+			queryIdx[q.ID] = i
+		}
+	}
+	subjIdxInVol := make([]map[string]int, len(vols))
+	perVol := make([][]service.AlignmentJSON, len(vols))
+	rep := &Report{Volumes: len(vols)}
+	for vi := range vols {
+		r := &results[vi]
+		perVol[vi] = r.aligns
+		m := make(map[string]int, len(vols[vi].Seqs))
+		for local, gi := range vols[vi].Seqs {
+			if _, dup := m[subject[gi].ID]; !dup {
+				m[subject[gi].ID] = local
+			}
+		}
+		subjIdxInVol[vi] = m
+
+		st := r.status
+		if st.Hits != nil {
+			rep.Hits += *st.Hits
+		}
+		if st.Pairs != nil {
+			rep.Pairs += *st.Pairs
+		}
+		if st.WallMS != nil {
+			rep.WallMS += *st.WallMS
+		}
+		rep.Retries += r.attempts - 1
+		rep.PerVolume = append(rep.PerVolume, VolumeReport{
+			Volume:     vi,
+			Worker:     c.cfg.Workers[r.worker],
+			Seqs:       len(vols[vi].Seqs),
+			Residues:   vols[vi].Residues,
+			Attempts:   r.attempts,
+			Latency:    r.latency,
+			Alignments: len(r.aligns),
+		})
+	}
+	rep.Alignments = mergeWireAlignments(vols, perVol, queryIdx, subjIdxInVol)
+	return rep, nil
+}
+
+// runVolume tries one volume on up to MaxAttempts distinct workers,
+// starting at the volume's preferred worker (volumes spread
+// round-robin) and excluding workers that already failed this volume.
+func (c *Coordinator) runVolume(ctx context.Context, vi int, vol Volume,
+	query, subject []service.SequenceJSON, opt service.OptionsJSON) (volumeResult, error) {
+	sub := make([]service.SequenceJSON, len(vol.Seqs))
+	for local, gi := range vol.Seqs {
+		sub[local] = subject[gi]
+	}
+	req := &service.JobRequestJSON{Query: query, Subject: sub, Options: opt}
+
+	var lastErr error
+	attempts := 0
+	for try := 0; try < len(c.clients) && attempts < c.cfg.MaxAttempts; try++ {
+		// Round-robin from the preferred worker; every retry lands on a
+		// worker this volume has not failed on yet.
+		wi := (vi + try) % len(c.clients)
+		attempts++
+		start := time.Now()
+		st, aligns, err := c.runVolumeOn(ctx, c.clients[wi], req)
+		if err == nil {
+			latency := time.Since(start)
+			c.met.volumeDone(wi, latency)
+			return volumeResult{status: st, aligns: aligns, worker: wi, attempts: attempts, latency: latency}, nil
+		}
+		if ctx.Err() != nil {
+			// Cancellation, not worker failure: don't charge the worker.
+			return volumeResult{}, ctx.Err()
+		}
+		if errors.As(err, new(*permanentError)) {
+			// The request is at fault, not the worker: every worker would
+			// reject or fail it the same way, so rotating workers only
+			// multiplies the damage. Fail fast, charge nobody.
+			return volumeResult{}, fmt.Errorf("cluster: volume %d on %s: %w",
+				vi, c.cfg.Workers[wi], err)
+		}
+		retrying := attempts < c.cfg.MaxAttempts && try+1 < len(c.clients)
+		c.met.volumeFailed(wi, retrying)
+		lastErr = fmt.Errorf("cluster: volume %d on %s (attempt %d): %w",
+			vi, c.cfg.Workers[wi], attempts, err)
+	}
+	return volumeResult{}, lastErr
+}
+
+// permanentError marks a volume failure no other worker can fix: the
+// worker rejected the request as invalid (4xx) or ran the comparison
+// and it failed deterministically. Transport errors and 5xx stay
+// retryable.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// runVolumeOn executes one volume job on one worker:
+// submit → poll → fetch. When the wait or fetch is abandoned (context
+// cancelled or worker unreachable) it best-effort cancels the job on
+// the worker over a detached context, so an abandoned volume does not
+// keep burning a worker's admission slot.
+func (c *Coordinator) runVolumeOn(ctx context.Context, cl *service.Client,
+	req *service.JobRequestJSON) (*service.JobStatusJSON, []service.AlignmentJSON, error) {
+	id, err := cl.Submit(ctx, req)
+	if err != nil {
+		var ae *service.APIError
+		if errors.As(err, &ae) && ae.StatusCode >= 400 && ae.StatusCode < 500 {
+			return nil, nil, &permanentError{fmt.Errorf("submit rejected: %w", err)}
+		}
+		return nil, nil, fmt.Errorf("submit: %w", err)
+	}
+	abandon := func() {
+		dctx, dcancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+		defer dcancel()
+		_ = cl.Cancel(dctx, id)
+	}
+	st, err := cl.Wait(ctx, id, c.cfg.PollInterval)
+	if err != nil {
+		abandon()
+		return nil, nil, fmt.Errorf("wait: %w", err)
+	}
+	if st.State != string(service.JobDone) {
+		return nil, nil, &permanentError{fmt.Errorf("worker job %s: %s", st.State, st.Error)}
+	}
+	aligns, err := cl.Alignments(ctx, id)
+	if err != nil {
+		abandon()
+		return nil, nil, fmt.Errorf("fetch: %w", err)
+	}
+	return st, aligns, nil
+}
+
+// normalizeIDs fills empty sequence ids with the same positional
+// naming the worker's decoder would use on the unpartitioned request,
+// so a scattered volume job reports the exact ids a single-node run
+// would — the merge and the equivalence guarantee both key on ids.
+func normalizeIDs(name string, seqs []service.SequenceJSON) []service.SequenceJSON {
+	out := make([]service.SequenceJSON, len(seqs))
+	for i, s := range seqs {
+		if s.ID == "" {
+			s.ID = fmt.Sprintf("%s%d", name, i)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// checkUniqueIDs rejects duplicate ids after normalization (which can
+// itself manufacture a clash: an explicit "subject1" next to a blank
+// id at position 1).
+func checkUniqueIDs(name string, seqs []service.SequenceJSON) error {
+	seen := make(map[string]int, len(seqs))
+	for i, s := range seqs {
+		if prev, dup := seen[s.ID]; dup {
+			return fmt.Errorf("cluster: duplicate %s id %q (sequences %d and %d); ids must be unique for an exact gather",
+				name, s.ID, prev, i)
+		}
+		seen[s.ID] = i
+	}
+	return nil
+}

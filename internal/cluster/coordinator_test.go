@@ -1,0 +1,359 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seedblast/internal/alphabet"
+	"seedblast/internal/service"
+)
+
+// wireWorkload converts the bank workload into the JSON sequence
+// lists a coordinator scatters.
+func wireWorkload(t testing.TB, n int, seed int64) (query, subject []service.SequenceJSON) {
+	t.Helper()
+	b0, b1 := testWorkload(t, n, seed)
+	for i := 0; i < b0.Len(); i++ {
+		query = append(query, service.SequenceJSON{ID: b0.ID(i), Seq: alphabet.DecodeProtein(b0.Seq(i))})
+	}
+	for i := 0; i < b1.Len(); i++ {
+		subject = append(subject, service.SequenceJSON{ID: b1.ID(i), Seq: alphabet.DecodeProtein(b1.Seq(i))})
+	}
+	return query, subject
+}
+
+func wireOptions() service.OptionsJSON {
+	ev := 10.0
+	return service.OptionsJSON{MaxEValue: &ev, Workers: 1}
+}
+
+// startWorker boots an in-process seedservd (real service behind a
+// test listener) and returns its base URL.
+func startWorker(t testing.TB) string {
+	t.Helper()
+	svc := service.New(service.Config{MaxConcurrent: 2})
+	srv := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+	return srv.URL
+}
+
+// singleNodeReference submits the unpartitioned request to one worker
+// and returns its alignments — the wire-level ground truth.
+func singleNodeReference(t testing.TB, query, subject []service.SequenceJSON) []service.AlignmentJSON {
+	t.Helper()
+	cl := service.NewClient(startWorker(t), service.ClientConfig{})
+	ctx := context.Background()
+	id, err := cl.Submit(ctx, &service.JobRequestJSON{Query: query, Subject: subject, Options: wireOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Wait(ctx, id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != string(service.JobDone) {
+		t.Fatalf("reference job %s: %s", st.State, st.Error)
+	}
+	as, err := cl.Alignments(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) == 0 {
+		t.Fatal("reference run produced no alignments; equivalence would be vacuous")
+	}
+	return as
+}
+
+// TestCoordinatorEquivalence: scattered over real HTTP workers, the
+// gathered report must be bit-identical to a single worker serving
+// the unpartitioned bank — strategies × volume counts.
+func TestCoordinatorEquivalence(t *testing.T) {
+	query, subject := wireWorkload(t, 8, 51)
+	want := singleNodeReference(t, query, subject)
+
+	workers := []string{startWorker(t), startWorker(t), startWorker(t)}
+	for _, p := range partitioners() {
+		for _, volumes := range []int{2, 3, 5} {
+			t.Run(fmt.Sprintf("%s/%dvol", p.Name(), volumes), func(t *testing.T) {
+				coord, err := New(Config{Workers: workers, Partitioner: p, Volumes: volumes})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := coord.Compare(context.Background(), query, subject, wireOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(rep.Alignments, want) {
+					t.Fatalf("merged wire alignments differ from single-node worker:\n got %d\nwant %d",
+						len(rep.Alignments), len(want))
+				}
+				if rep.Volumes != min(volumes, len(subject)) {
+					t.Errorf("report volumes = %d, want %d", rep.Volumes, volumes)
+				}
+				if rep.Retries != 0 {
+					t.Errorf("healthy workers, but %d retries", rep.Retries)
+				}
+			})
+		}
+	}
+}
+
+// flakyWorker accepts submissions, then fails every poll with a 500 —
+// a worker that died mid-job from the coordinator's point of view.
+func flakyWorker(t testing.TB) string {
+	t.Helper()
+	var mu sync.Mutex
+	n := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		n++
+		id := fmt.Sprintf("flaky-%d", n)
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":%q,"state":"queued"}`, id)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, `{"error":"worker crashed"}`, http.StatusInternalServerError)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// TestCoordinatorRetriesOnWorkerFailure: one worker dies mid-job (and
+// another is down entirely); the partial gather must complete by
+// retrying the lost volumes on the surviving worker, and the merged
+// output must still be bit-identical.
+func TestCoordinatorRetriesOnWorkerFailure(t *testing.T) {
+	query, subject := wireWorkload(t, 6, 52)
+	want := singleNodeReference(t, query, subject)
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // nothing listens: submits fail at the transport
+
+	workers := []string{flakyWorker(t), deadURL, startWorker(t)}
+	coord, err := New(Config{
+		Workers: workers,
+		Volumes: 3,
+		Client:  service.ClientConfig{Attempts: 2, Backoff: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := coord.Compare(context.Background(), query, subject, wireOptions())
+	if err != nil {
+		t.Fatalf("gather did not survive worker failures: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Alignments, want) {
+		t.Fatalf("retried gather differs from single-node output: got %d alignments, want %d",
+			len(rep.Alignments), len(want))
+	}
+	if rep.Retries == 0 {
+		t.Error("two broken workers but the report counts no retries")
+	}
+	m := coord.Metrics()
+	if m.Retries == 0 {
+		t.Error("coordinator metrics count no retries")
+	}
+	if m.Workers[0].Failures == 0 && m.Workers[1].Failures == 0 {
+		t.Error("neither broken worker charged with a failure")
+	}
+	if m.Workers[2].Volumes == 0 {
+		t.Error("surviving worker served no volumes")
+	}
+	if m.Completed != 1 || m.Failed != 0 {
+		t.Errorf("metrics completed/failed = %d/%d, want 1/0", m.Completed, m.Failed)
+	}
+}
+
+// TestCoordinatorFailsWhenNoWorkerSurvives: when every worker is
+// broken the request must fail with the volume's last error, and the
+// failure must be counted.
+func TestCoordinatorFailsWhenNoWorkerSurvives(t *testing.T) {
+	query, subject := wireWorkload(t, 4, 53)
+	coord, err := New(Config{
+		Workers: []string{flakyWorker(t), flakyWorker(t)},
+		Client:  service.ClientConfig{Attempts: 1, Backoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = coord.Compare(context.Background(), query, subject, wireOptions())
+	if err == nil {
+		t.Fatal("request succeeded with every worker broken")
+	}
+	if !strings.Contains(err.Error(), "volume") {
+		t.Errorf("error does not identify the failed volume: %v", err)
+	}
+	if m := coord.Metrics(); m.Failed != 1 {
+		t.Errorf("metrics failed = %d, want 1", m.Failed)
+	}
+}
+
+// TestCoordinatorFailsFastOnClientError: a request every worker
+// rejects as invalid (bad genetic code → 400 at submit) must fail on
+// the first worker without rotating through the rest, and without
+// charging healthy workers failures or burning retries.
+func TestCoordinatorFailsFastOnClientError(t *testing.T) {
+	query, subject := wireWorkload(t, 3, 56)
+	coord, err := New(Config{Workers: []string{startWorker(t), startWorker(t), startWorker(t)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := wireOptions()
+	opt.GeneticCode = "not-a-code"
+	_, err = coord.Compare(context.Background(), query, subject, opt)
+	if err == nil {
+		t.Fatal("invalid options accepted")
+	}
+	if !strings.Contains(err.Error(), "submit rejected") {
+		t.Errorf("error does not mark the rejection: %v", err)
+	}
+	m := coord.Metrics()
+	if m.Retries != 0 {
+		t.Errorf("client error burned %d retries; it should fail fast", m.Retries)
+	}
+	for _, wm := range m.Workers {
+		if wm.Failures != 0 {
+			t.Errorf("worker %s charged %d failures for a client error", wm.URL, wm.Failures)
+		}
+	}
+}
+
+// Duplicate ids would silently remap alignments onto the wrong
+// sequence during the gather, so the coordinator must reject them —
+// including a clash manufactured by default-id normalization.
+func TestCoordinatorRejectsDuplicateIDs(t *testing.T) {
+	coord, err := New(Config{Workers: []string{"http://127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := []service.SequenceJSON{{ID: "q0", Seq: "MKV"}}
+	dupSubject := []service.SequenceJSON{{ID: "A", Seq: "MKV"}, {ID: "B", Seq: "MKL"}, {ID: "A", Seq: "MKI"}}
+	if _, err := coord.Compare(ctx, q, dupSubject, wireOptions()); err == nil || !strings.Contains(err.Error(), "duplicate subject id") {
+		t.Errorf("duplicate subject ids not rejected: %v", err)
+	}
+	dupQuery := []service.SequenceJSON{{ID: "q0", Seq: "MKV"}, {ID: "q0", Seq: "MKL"}}
+	sub := []service.SequenceJSON{{ID: "s0", Seq: "MKV"}}
+	if _, err := coord.Compare(ctx, dupQuery, sub, wireOptions()); err == nil || !strings.Contains(err.Error(), "duplicate query id") {
+		t.Errorf("duplicate query ids not rejected: %v", err)
+	}
+	// Normalization clash: explicit "subject1" plus a blank id at
+	// position 1 both become "subject1".
+	clash := []service.SequenceJSON{{ID: "subject1", Seq: "MKV"}, {Seq: "MKL"}}
+	if _, err := coord.Compare(ctx, q, clash, wireOptions()); err == nil || !strings.Contains(err.Error(), "duplicate subject id") {
+		t.Errorf("normalization-manufactured duplicate not rejected: %v", err)
+	}
+}
+
+// hangingWorker accepts jobs that never finish and records which ones
+// get cancelled — for pinning cancellation propagation.
+type hangingWorker struct {
+	mu        sync.Mutex
+	submitted []string
+	cancelled map[string]bool
+	n         int
+}
+
+func newHangingWorker(t testing.TB) (*hangingWorker, string) {
+	t.Helper()
+	h := &hangingWorker{cancelled: make(map[string]bool)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		h.mu.Lock()
+		h.n++
+		id := fmt.Sprintf("hang-%d", h.n)
+		h.submitted = append(h.submitted, id)
+		h.mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":%q,"state":"queued"}`, id)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]any{"id": r.PathValue("id"), "state": "running", "mode": "bank"})
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		h.mu.Lock()
+		h.cancelled[r.PathValue("id")] = true
+		h.mu.Unlock()
+		fmt.Fprintf(w, `{"id":%q,"state":"failed"}`, r.PathValue("id"))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return h, srv.URL
+}
+
+// TestCoordinatorCancellationPropagates: cancelling the request
+// context must abort the gather promptly AND cancel every outstanding
+// job on the workers, so abandoned volumes stop burning worker
+// admission slots.
+func TestCoordinatorCancellationPropagates(t *testing.T) {
+	query, subject := wireWorkload(t, 4, 54)
+	h1, u1 := newHangingWorker(t)
+	h2, u2 := newHangingWorker(t)
+	coord, err := New(Config{Workers: []string{u1, u2}, Volumes: 4, PollInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Let the scatter reach the workers, then pull the plug.
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			h1.mu.Lock()
+			n1 := len(h1.submitted)
+			h1.mu.Unlock()
+			h2.mu.Lock()
+			n2 := len(h2.submitted)
+			h2.mu.Unlock()
+			if n1 > 0 && n2 > 0 {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		cancel()
+	}()
+
+	start := time.Now()
+	_, err = coord.Compare(ctx, query, subject, wireOptions())
+	if err == nil {
+		t.Fatal("cancelled Compare returned no error")
+	}
+	if context.Cause(ctx) == nil || time.Since(start) > 10*time.Second {
+		t.Fatalf("Compare returned %v after %v", err, time.Since(start))
+	}
+
+	// Every job the workers accepted must have received its DELETE.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok := true
+		for _, h := range []*hangingWorker{h1, h2} {
+			h.mu.Lock()
+			for _, id := range h.submitted {
+				if !h.cancelled[id] {
+					ok = false
+				}
+			}
+			h.mu.Unlock()
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("outstanding worker jobs were not cancelled after the request context died")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

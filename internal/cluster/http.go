@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"seedblast/internal/service"
+)
+
+// ServerConfig tunes the coordinator daemon's job store.
+type ServerConfig struct {
+	// MaxJobsRetained caps finished jobs kept pollable. Zero or
+	// negative means 256.
+	MaxJobsRetained int
+	// JobTTL expires finished jobs by age, like the worker daemon's.
+	// Zero means 15 minutes; negative disables.
+	JobTTL time.Duration
+	// MaxQueued caps jobs accepted but not yet finished (each pins its
+	// banks and fans out onto every worker). Submissions beyond it get
+	// 503. Zero means 1024; negative disables.
+	MaxQueued int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxJobsRetained <= 0 {
+		c.MaxJobsRetained = 256
+	}
+	if c.JobTTL == 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = 1024
+	}
+	return c
+}
+
+// Server fronts a Coordinator with the same submit/poll/fetch/cancel
+// job API the workers speak, so a client cannot tell a coordinator
+// from a single worker — except for the extra /cluster/metrics
+// endpoint and the scatter-gather fan-out behind every job.
+type Server struct {
+	coord     *Coordinator
+	store     *service.JobStore[*clusterJob]
+	maxQueued int
+
+	mu      sync.Mutex
+	seq     int
+	pending int // jobs accepted but not finished
+}
+
+// clusterJob is one asynchronous scatter-gather comparison.
+type clusterJob struct {
+	id     string
+	mode   string
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     service.JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	report    *Report
+	err       error
+}
+
+// Done and FinishedAt satisfy service.JobStoreEntry, so the cluster
+// daemon shares the worker daemon's eviction policy and store.
+func (j *clusterJob) Done() <-chan struct{} { return j.done }
+
+func (j *clusterJob) FinishedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished
+}
+
+// NewServer returns a coordinator daemon front end.
+func NewServer(coord *Coordinator, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		coord:     coord,
+		store:     service.NewJobStore[*clusterJob](cfg.MaxJobsRetained, cfg.JobTTL),
+		maxQueued: cfg.MaxQueued,
+	}
+}
+
+// NewHandler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs                 submit a comparison; returns {"id": ...}
+//	GET    /v1/jobs                 list job summaries
+//	GET    /v1/jobs/{id}            poll one job's status
+//	DELETE /v1/jobs/{id}            cancel a job (propagates to workers)
+//	GET    /v1/jobs/{id}/alignments fetch a finished job's merged alignments
+//	GET    /cluster/metrics         per-worker latency/retry and volume-skew stats
+//	GET    /healthz                 liveness probe
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/alignments", s.alignments)
+	mux.HandleFunc("GET /cluster/metrics", s.metrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var body service.JobRequestJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, service.MaxRequestBytes))
+	if err := dec.Decode(&body); err != nil {
+		service.WriteError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if len(body.Query) == 0 {
+		service.WriteError(w, http.StatusBadRequest, "request needs a query bank")
+		return
+	}
+	if body.Genome != "" {
+		// Genome mode partitions the genome, not a sequence list; the
+		// cluster layer does not implement that cut yet.
+		service.WriteError(w, http.StatusBadRequest, "cluster serves bank-vs-bank jobs; submit genome jobs to a worker directly")
+		return
+	}
+	if len(body.Subject) == 0 {
+		service.WriteError(w, http.StatusBadRequest, "request needs a subject bank")
+		return
+	}
+	if body.Options.SearchSpace != nil {
+		service.WriteError(w, http.StatusBadRequest, "searchSpace is set by the coordinator; submit without it")
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	if s.maxQueued > 0 && s.pending >= s.maxQueued {
+		s.mu.Unlock()
+		cancel()
+		service.WriteError(w, http.StatusServiceUnavailable, "%d jobs pending, queue full", s.maxQueued)
+		return
+	}
+	s.pending++
+	s.seq++
+	j := &clusterJob{
+		id:        fmt.Sprintf("cjob-%d", s.seq),
+		mode:      "bank",
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     service.JobQueued,
+		submitted: time.Now(),
+	}
+	// Added under s.mu so concurrent submits land in the store in id
+	// order (list ordering and oldest-first eviction rely on it).
+	s.store.Add(j.id, j)
+	s.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		j.mu.Lock()
+		j.state = service.JobRunning
+		j.started = time.Now()
+		j.mu.Unlock()
+		rep, err := s.coord.Compare(ctx, body.Query, body.Subject, body.Options)
+		j.mu.Lock()
+		j.finished = time.Now()
+		if err != nil {
+			j.state = service.JobFailed
+			j.err = err
+		} else {
+			j.state = service.JobDone
+			j.report = rep
+		}
+		j.mu.Unlock()
+		close(j.done)
+		s.mu.Lock()
+		s.pending--
+		s.mu.Unlock()
+		s.store.Prune()
+	}()
+	service.WriteJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": string(service.JobQueued)})
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*clusterJob, bool) {
+	j, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		service.WriteError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+	}
+	return j, ok
+}
+
+func (j *clusterJob) statusJSON() service.JobStatusJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := service.JobStatusJSON{
+		ID:        j.id,
+		State:     string(j.state),
+		Mode:      j.mode,
+		Submitted: j.submitted,
+	}
+	if !j.started.IsZero() {
+		started := j.started
+		st.Started = &started
+	}
+	if !j.finished.IsZero() {
+		finished := j.finished
+		st.Finished = &finished
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.report != nil {
+		n := len(j.report.Alignments)
+		st.Alignments = &n
+		hits := j.report.Hits
+		st.Hits = &hits
+		pairs := j.report.Pairs
+		st.Pairs = &pairs
+		wall := j.report.WallMS
+		st.WallMS = &wall
+	}
+	return st
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		service.WriteJSON(w, http.StatusOK, j.statusJSON())
+	}
+}
+
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.store.All()
+	out := make([]service.JobStatusJSON, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.statusJSON())
+	}
+	service.WriteJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		j.cancel()
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		service.WriteJSON(w, http.StatusOK, map[string]string{"id": j.id, "state": string(state)})
+	}
+}
+
+func (s *Server) alignments(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	state, err, rep := j.state, j.err, j.report
+	j.mu.Unlock()
+	switch state {
+	case service.JobFailed:
+		service.WriteError(w, http.StatusConflict, "job failed: %v", err)
+		return
+	case service.JobQueued, service.JobRunning:
+		w.Header().Set("Retry-After", "1")
+		service.WriteError(w, http.StatusConflict, "job is %s; poll until done", state)
+		return
+	}
+	service.WriteJSON(w, http.StatusOK, rep.Alignments)
+}
+
+// metrics renders the coordinator counters in the Prometheus text
+// exposition format: request totals, retry counts, per-worker volume
+// throughput and latency, and the last partition's volume skew.
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.coord.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(name string, v any) { fmt.Fprintf(w, "seedclusterd_%s %v\n", name, v) }
+	p("requests_total", m.Requests)
+	p("requests_completed_total", m.Completed)
+	p("requests_failed_total", m.Failed)
+	p("volume_retries_total", m.Retries)
+	p("last_volumes", m.LastVolumes)
+	p("last_volume_skew", m.LastSkew)
+	for _, wm := range m.Workers {
+		l := fmt.Sprintf("{worker=%q}", wm.URL)
+		fmt.Fprintf(w, "seedclusterd_worker_volumes_total%s %d\n", l, wm.Volumes)
+		fmt.Fprintf(w, "seedclusterd_worker_failures_total%s %d\n", l, wm.Failures)
+		fmt.Fprintf(w, "seedclusterd_worker_latency_seconds_total%s %v\n", l, wm.TotalLatency.Seconds())
+		fmt.Fprintf(w, "seedclusterd_worker_latency_seconds_max%s %v\n", l, wm.MaxLatency.Seconds())
+		fmt.Fprintf(w, "seedclusterd_worker_latency_seconds_mean%s %v\n", l, wm.MeanLatency().Seconds())
+	}
+}

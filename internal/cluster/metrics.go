@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// WorkerMetrics is one worker's cumulative scatter-gather accounting.
+type WorkerMetrics struct {
+	URL          string
+	Volumes      int64         // volume jobs completed on this worker
+	Failures     int64         // volume attempts that failed here (then retried elsewhere)
+	TotalLatency time.Duration // summed submit→gather latency of completed volumes
+	MaxLatency   time.Duration
+}
+
+// MeanLatency returns the average completed-volume latency.
+func (w WorkerMetrics) MeanLatency() time.Duration {
+	if w.Volumes == 0 {
+		return 0
+	}
+	return w.TotalLatency / time.Duration(w.Volumes)
+}
+
+// MetricsSnapshot is a point-in-time view of the coordinator's
+// counters.
+type MetricsSnapshot struct {
+	Requests  int64 // cluster comparisons started
+	Completed int64
+	Failed    int64
+	Retries   int64 // volume attempts reissued after a worker failure
+
+	Workers []WorkerMetrics
+
+	// Volume-skew accounting for the most recent partition: how many
+	// volumes were cut and the max/mean residue ratio across them
+	// (1.0 = perfectly balanced). Scatter latency is bounded by the
+	// slowest volume, so skew is the number to watch when picking a
+	// partitioning strategy.
+	LastVolumes int
+	LastSkew    float64
+}
+
+// metrics is the coordinator's internal mutable counter set.
+type metrics struct {
+	mu          sync.Mutex
+	requests    int64
+	completed   int64
+	failed      int64
+	retries     int64
+	workers     []WorkerMetrics
+	lastVolumes int
+	lastSkew    float64
+}
+
+func newMetrics(urls []string) *metrics {
+	m := &metrics{workers: make([]WorkerMetrics, len(urls))}
+	for i, u := range urls {
+		m.workers[i].URL = u
+	}
+	return m
+}
+
+func (m *metrics) requestStarted(vols []Volume) {
+	var maxR, sum int
+	for _, v := range vols {
+		sum += v.Residues
+		if v.Residues > maxR {
+			maxR = v.Residues
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	m.lastVolumes = len(vols)
+	if len(vols) > 0 && sum > 0 {
+		m.lastSkew = float64(maxR) * float64(len(vols)) / float64(sum)
+	} else {
+		m.lastSkew = 0
+	}
+}
+
+func (m *metrics) requestDone(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.failed++
+	} else {
+		m.completed++
+	}
+}
+
+func (m *metrics) volumeDone(worker int, latency time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &m.workers[worker]
+	w.Volumes++
+	w.TotalLatency += latency
+	if latency > w.MaxLatency {
+		w.MaxLatency = latency
+	}
+}
+
+func (m *metrics) volumeFailed(worker int, retried bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.workers[worker].Failures++
+	if retried {
+		m.retries++
+	}
+}
+
+func (m *metrics) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MetricsSnapshot{
+		Requests:    m.requests,
+		Completed:   m.completed,
+		Failed:      m.failed,
+		Retries:     m.retries,
+		Workers:     append([]WorkerMetrics(nil), m.workers...),
+		LastVolumes: m.lastVolumes,
+		LastSkew:    m.lastSkew,
+	}
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func partitioners() []Partitioner {
+	return []Partitioner{SeqCount{}, SizeBalanced{}}
+}
+
+func TestPartitionCoversEverySequenceOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range partitioners() {
+		for _, total := range []int{1, 2, 7, 100} {
+			lens := make([]int, total)
+			for i := range lens {
+				lens[i] = 20 + rng.Intn(500)
+			}
+			for _, n := range []int{1, 2, 3, 5, total, total + 10} {
+				vols := p.Partition(lens, n)
+				if err := checkPartition(lens, vols); err != nil {
+					t.Errorf("%s: total=%d n=%d: %v", p.Name(), total, n, err)
+				}
+				if want := min(n, total); len(vols) != want {
+					t.Errorf("%s: total=%d n=%d: got %d volumes, want %d", p.Name(), total, n, len(vols), want)
+				}
+				for _, v := range vols {
+					sum := 0
+					for _, s := range v.Seqs {
+						sum += lens[s]
+					}
+					if sum != v.Residues {
+						t.Errorf("%s: volume Residues=%d, sequences sum to %d", p.Name(), v.Residues, sum)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionEmptyAndDeterministic(t *testing.T) {
+	for _, p := range partitioners() {
+		if vols := p.Partition(nil, 4); vols != nil {
+			t.Errorf("%s: empty bank should partition to nil, got %v", p.Name(), vols)
+		}
+		lens := []int{100, 400, 50, 50, 300, 120, 80}
+		a := p.Partition(lens, 3)
+		b := p.Partition(lens, 3)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: partition is not deterministic", p.Name())
+		}
+	}
+}
+
+// On a heavy-tailed bank, the greedy size-balanced cut must beat the
+// contiguous count cut on residue skew — that is its whole point.
+func TestSizeBalancedBeatsSeqCountOnSkewedBank(t *testing.T) {
+	// A few giants up front followed by many small sequences: the
+	// contiguous cut puts all giants in volume 0.
+	lens := []int{5000, 4000, 3000}
+	for i := 0; i < 30; i++ {
+		lens = append(lens, 100)
+	}
+	skew := func(vols []Volume) float64 {
+		maxR, sum := 0, 0
+		for _, v := range vols {
+			sum += v.Residues
+			if v.Residues > maxR {
+				maxR = v.Residues
+			}
+		}
+		return float64(maxR) * float64(len(vols)) / float64(sum)
+	}
+	sc := skew(SeqCount{}.Partition(lens, 3))
+	sb := skew(SizeBalanced{}.Partition(lens, 3))
+	if sb >= sc {
+		t.Errorf("size-balanced skew %.3f not better than contiguous skew %.3f", sb, sc)
+	}
+	if sb > 1.2 {
+		t.Errorf("size-balanced skew %.3f, want near 1.0 on this bank", sb)
+	}
+}
+
+// Zero-length sequences are legal bank members (the worker encoder
+// accepts ""); they must not collapse onto one volume and leave
+// another empty, which would fail requests a single worker serves.
+func TestPartitionHandlesZeroLengthSequences(t *testing.T) {
+	lens := []int{10, 20, 0, 0}
+	for _, p := range partitioners() {
+		for _, n := range []int{2, 3, 4} {
+			vols := p.Partition(lens, n)
+			if err := checkPartition(lens, vols); err != nil {
+				t.Errorf("%s: n=%d: %v", p.Name(), n, err)
+			}
+		}
+	}
+}
+
+func TestPartitionerByName(t *testing.T) {
+	for name, want := range map[string]string{"seqcount": "seqcount", "size": "size", "": "size"} {
+		p, err := PartitionerByName(name)
+		if err != nil {
+			t.Fatalf("PartitionerByName(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("PartitionerByName(%q).Name() = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := PartitionerByName("bogus"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

@@ -124,6 +124,15 @@ type Options struct {
 	// and vertebrate-mitochondrial codes are provided by package
 	// translate.
 	GeneticCode *translate.Code
+	// SearchSpaceOverride fixes the database geometry used for E-value
+	// statistics instead of deriving it from the subject bank. The
+	// cluster layer sets it to the full bank's geometry when this run
+	// compares against one volume of a partitioned bank, so reported
+	// E-values — and the Gapped.MaxEValue significance cut — are
+	// bit-identical to an unpartitioned run. The zero value keeps the
+	// historical behaviour (n = subject bank total residues). It takes
+	// precedence over any Gapped.SearchSpace already set.
+	SearchSpaceOverride stats.SearchSpace
 	// SubjectIndex optionally provides a prebuilt step-1 index of the
 	// subject bank (bank 1). It must have been built from the same
 	// subject contents with the same Seed and N. The engine rejects
@@ -169,6 +178,9 @@ func (o *Options) gappedConfig() gapped.Config {
 	}
 	if g.Workers == 0 {
 		g.Workers = o.Workers
+	}
+	if !o.SearchSpaceOverride.IsZero() {
+		g.SearchSpace = o.SearchSpaceOverride
 	}
 	return g
 }
@@ -359,9 +371,10 @@ func CompareBatch(b0, b1 *bank.Bank, opt Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: indexing bank 1: %w", err)
 		}
-	} else if ix1.Model().KeySpace() != opt.Seed.KeySpace() || ix1.N() != opt.N ||
-		ix1.Bank().Len() != b1.Len() || ix1.Bank().TotalResidues() != b1.TotalResidues() {
-		return nil, fmt.Errorf("core: provided subject index does not match options or subject bank")
+	} else if err := pipeline.MatchesRequest(ix1, b1, opt.Seed, opt.N); err != nil {
+		// Same acceptance rule as the streaming engine, so the reference
+		// and streaming paths never diverge on which indexes they take.
+		return nil, fmt.Errorf("core: provided subject index %w", err)
 	}
 	res := &Result{Stats0: ix0.Stats(), Stats1: ix1.Stats()}
 	res.Times.Index = time.Since(t0)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"seedblast/internal/align"
@@ -8,6 +9,7 @@ import (
 	"seedblast/internal/gapped"
 	"seedblast/internal/index"
 	"seedblast/internal/matrix"
+	"seedblast/internal/stats"
 )
 
 // Regression for the options bug where a nil Gapped.Matrix replaced
@@ -79,6 +81,63 @@ func TestGappedConfigExplicitUntouched(t *testing.T) {
 	opt.Workers = 16
 	if got := opt.gappedConfig(); got != want {
 		t.Errorf("fully explicit Gapped config modified:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestGappedConfigSearchSpaceOverride(t *testing.T) {
+	opt := DefaultOptions()
+	opt.SearchSpaceOverride = stats.SearchSpace{DBLen: 123456, DBSeqs: 42}
+	if g := opt.gappedConfig(); g.SearchSpace != opt.SearchSpaceOverride {
+		t.Errorf("SearchSpaceOverride not plumbed into the gapped config: %+v", g.SearchSpace)
+	}
+	// And it must win over a conflicting Gapped.SearchSpace.
+	opt.Gapped.SearchSpace = stats.SearchSpace{DBLen: 7}
+	if g := opt.gappedConfig(); g.SearchSpace != opt.SearchSpaceOverride {
+		t.Errorf("SearchSpaceOverride lost to Gapped.SearchSpace: %+v", g.SearchSpace)
+	}
+}
+
+// A volume comparison with the full bank's search space must report
+// the same E-values as the unpartitioned run: this is the statistical
+// invariant the cluster layer's scatter-gather depends on.
+func TestCompareSearchSpaceOverrideMatchesFullBank(t *testing.T) {
+	b0 := bank.GenerateProteins(bank.ProteinConfig{N: 6, MeanLen: 110, LenJitter: 10, Seed: 11})
+	b1 := bank.GenerateProteins(bank.ProteinConfig{N: 10, MeanLen: 110, LenJitter: 10, Seed: 12})
+
+	opt := DefaultOptions()
+	opt.UngappedThreshold = 22
+	opt.Gapped.MaxEValue = 10 // loose enough that chance hits survive
+	full, err := Compare(b0, b1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Alignments) == 0 {
+		t.Skip("workload produced no alignments; nothing to pin")
+	}
+
+	// Rebuild the first volume: subject sequences [0, 5).
+	vol := bank.New("vol0")
+	for i := 0; i < 5; i++ {
+		vol.Add(b1.ID(i), b1.Seq(i))
+	}
+	vopt := opt
+	vopt.SearchSpaceOverride = stats.SearchSpace{DBLen: b1.TotalResidues(), DBSeqs: b1.Len()}
+	vres, err := Compare(b0, vol, vopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The volume is the first five subjects, so volume-local Seq1 equals
+	// the global number and filtering the full run to Seq1 < 5 preserves
+	// the (Seq0, EValue, Seq1) order: the two lists must match exactly.
+	var want []gapped.Alignment
+	for _, a := range full.Alignments {
+		if a.Seq1 < 5 {
+			want = append(want, a)
+		}
+	}
+	if !reflect.DeepEqual(vres.Alignments, want) {
+		t.Errorf("volume run with full-bank search space differs from the full run's volume slice:\n got %+v\nwant %+v",
+			vres.Alignments, want)
 	}
 }
 

@@ -50,6 +50,13 @@ type Config struct {
 	XDrop     int
 	Params    stats.Params // gapped Karlin-Altschul parameters
 	MaxEValue float64
+	// SearchSpace fixes the database geometry E-values are computed
+	// against. The zero value derives n from the subject bank passed to
+	// Run — correct for a whole-bank comparison. A coordinator that
+	// scatters volumes of a larger bank sets the full bank's geometry
+	// here so each volume's E-values (and the MaxEValue cut) match an
+	// unpartitioned run exactly.
+	SearchSpace stats.SearchSpace
 	// Traceback records alignment operations for reporting. The
 	// traceback DP runs unbanded over the subject window, so it is
 	// slower and can find alignments that escape the band.
@@ -103,6 +110,9 @@ func RunWithStats(b0, b1 *bank.Bank, hits []ungapped.Hit, cfg Config) ([]Alignme
 	if cfg.MaxEValue <= 0 {
 		return nil, Stats{}, fmt.Errorf("gapped: MaxEValue must be positive, got %g", cfg.MaxEValue)
 	}
+	if err := cfg.SearchSpace.Validate(); err != nil {
+		return nil, Stats{}, fmt.Errorf("gapped: %w", err)
+	}
 
 	// Group hits by sequence pair, preserving deterministic order.
 	type pairKey struct{ s0, s1 uint32 }
@@ -123,7 +133,10 @@ func RunWithStats(b0, b1 *bank.Bank, hits []ungapped.Hit, cfg Config) ([]Alignme
 	if workers > len(order) {
 		workers = max(len(order), 1)
 	}
-	dbLen := b1.TotalResidues()
+	space := cfg.SearchSpace
+	if space.IsZero() {
+		space = stats.SearchSpace{DBLen: b1.TotalResidues(), DBSeqs: b1.Len()}
+	}
 
 	type groupResult struct {
 		as []Alignment
@@ -141,7 +154,7 @@ func RunWithStats(b0, b1 *bank.Bank, hits []ungapped.Hit, cfg Config) ([]Alignme
 				k := order[gi]
 				results[gi].as, results[gi].st = extendGroup(al,
 					b0.Seq(int(k.s0)), b1.Seq(int(k.s1)),
-					int(k.s0), int(k.s1), groups[k], &cfg, dbLen)
+					int(k.s0), int(k.s1), groups[k], &cfg, space)
 			}
 		}()
 	}
@@ -178,7 +191,7 @@ func RunWithStats(b0, b1 *bank.Bank, hits []ungapped.Hit, cfg Config) ([]Alignme
 // skipped (BLAST's containment rule), others are extended with a banded
 // local alignment around their diagonal.
 func extendGroup(al *align.Aligner, q, s []byte, seq0, seq1 int,
-	hits []ungapped.Hit, cfg *Config, dbLen int) ([]Alignment, Stats) {
+	hits []ungapped.Hit, cfg *Config, space stats.SearchSpace) ([]Alignment, Stats) {
 	var found []Alignment
 	var st Stats
 	for _, h := range hits {
@@ -205,7 +218,7 @@ func extendGroup(al *align.Aligner, q, s []byte, seq0, seq1 int,
 		if loc.Score <= 0 {
 			continue
 		}
-		ev := cfg.Params.EValue(loc.Score, len(q), dbLen)
+		ev := cfg.Params.EValueIn(loc.Score, len(q), space)
 		if ev > cfg.MaxEValue {
 			continue
 		}

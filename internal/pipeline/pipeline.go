@@ -136,6 +136,29 @@ type Metrics struct {
 	ShardsByBackend map[string]int // step-2 dispatch split (MultiBackend)
 }
 
+// Merge folds another run's accounting into m: shard counts and busy
+// times add up, and the backend dispatch split is summed per backend.
+// Wall also sums, so on concurrent runs (one engine per volume in the
+// cluster's local mode, or the service's admission pool) the merged
+// Wall is aggregate engine time, not elapsed time — the same semantics
+// the service's /metrics counters use.
+func (m *Metrics) Merge(o *Metrics) {
+	m.Shards += o.Shards
+	m.Wall += o.Wall
+	m.Index.Shards += o.Index.Shards
+	m.Index.Busy += o.Index.Busy
+	m.Step2.Shards += o.Step2.Shards
+	m.Step2.Busy += o.Step2.Busy
+	m.Step3.Shards += o.Step3.Shards
+	m.Step3.Busy += o.Step3.Busy
+	for k, v := range o.ShardsByBackend {
+		if m.ShardsByBackend == nil {
+			m.ShardsByBackend = make(map[string]int)
+		}
+		m.ShardsByBackend[k] += v
+	}
+}
+
 // Output is the engine's result.
 type Output struct {
 	Alignments []gapped.Alignment // sorted by (Seq0, EValue, Seq1), stably
@@ -241,7 +264,7 @@ func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
 			return nil, fmt.Errorf("pipeline: indexing bank 1: %w", err)
 		}
 		met.Index.Busy += time.Since(t0)
-	} else if err := matchesRequest(ix1, req.Bank1, req.Seed, req.N); err != nil {
+	} else if err := MatchesRequest(ix1, req.Bank1, req.Seed, req.N); err != nil {
 		return nil, fmt.Errorf("pipeline: provided bank-1 index %w", err)
 	}
 
@@ -251,7 +274,7 @@ func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
 		if len(shards) > 1 {
 			return nil, fmt.Errorf("pipeline: provided bank-0 index is unusable on a sharded run (%d shards)", len(shards))
 		}
-		if err := matchesRequest(req.Index0, req.Bank0, req.Seed, req.N); err != nil {
+		if err := MatchesRequest(req.Index0, req.Bank0, req.Seed, req.N); err != nil {
 			return nil, fmt.Errorf("pipeline: provided bank-0 index %w", err)
 		}
 	}
@@ -434,14 +457,16 @@ func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
 	return out, nil
 }
 
-// matchesRequest checks a caller-provided prebuilt index against the
+// MatchesRequest checks a caller-provided prebuilt index against a
 // request: seed key space and N must agree, and the indexed bank must
 // have the request bank's shape (sequence count and total residues —
 // a cheap stand-in for content equality that catches an index built
 // from a different bank; full content identity remains the caller's
 // responsibility, which the service guarantees by fingerprint-keying
-// its cache).
-func matchesRequest(ix *index.Index, b *bank.Bank, model seed.Model, n int) error {
+// its cache). Exported so the batch reference path applies the exact
+// same acceptance rule as the engine. The error reads as a clause
+// ("(keys=…) does not match …"); callers prefix the index's role.
+func MatchesRequest(ix *index.Index, b *bank.Bank, model seed.Model, n int) error {
 	if ix.Model().KeySpace() != model.KeySpace() || ix.N() != n {
 		return fmt.Errorf("(keys=%d N=%d) does not match request (keys=%d N=%d)",
 			ix.Model().KeySpace(), ix.N(), model.KeySpace(), n)

@@ -1,0 +1,246 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a typed HTTP client for the service's job API
+// (submit/poll/fetch/cancel as served by NewHandler). It is the one
+// place the wire protocol is spoken from the client side: the cluster
+// coordinator scatters volumes through it and the end-to-end smoke
+// tests drive daemons with it, so a protocol change breaks loudly in
+// both. The zero value is not usable; construct with NewClient. A
+// Client is safe for concurrent use.
+//
+// Idempotent calls (status, alignments, cancel, health) retry
+// transient transport errors and 5xx responses with exponential
+// backoff. Submit is deliberately not retried: it is not idempotent —
+// a lost response would leave an orphan job running on the worker —
+// and callers with retry semantics (the coordinator) reissue it at
+// their own level where they can also pick a different worker.
+type Client struct {
+	base     string
+	httpc    *http.Client
+	attempts int
+	backoff  time.Duration
+}
+
+// ClientConfig tunes a Client. The zero value gets defaults.
+type ClientConfig struct {
+	// HTTPClient overrides the transport; nil means a client with a
+	// 60 s per-request timeout.
+	HTTPClient *http.Client
+	// Attempts caps tries for idempotent calls. Zero or negative means 3.
+	Attempts int
+	// Backoff is the initial retry delay, doubling per attempt. Zero or
+	// negative means 50 ms.
+	Backoff time.Duration
+}
+
+// NewClient returns a client for the service at baseURL
+// (e.g. "http://127.0.0.1:8844").
+func NewClient(baseURL string, cfg ClientConfig) *Client {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 60 * time.Second}
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	return &Client{
+		base:     strings.TrimRight(baseURL, "/"),
+		httpc:    cfg.HTTPClient,
+		attempts: cfg.Attempts,
+		backoff:  cfg.Backoff,
+	}
+}
+
+// BaseURL returns the service root this client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+// APIError is a non-2xx response from the service, with the decoded
+// {"error": ...} message when the body carried one.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: http %d: %s", e.StatusCode, e.Message)
+}
+
+// Submit posts a job and returns its id. Not retried (see Client).
+func (c *Client) Submit(ctx context.Context, req *JobRequestJSON) (string, error) {
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out, false); err != nil {
+		return "", err
+	}
+	if out.ID == "" {
+		return "", fmt.Errorf("service: submit returned no job id")
+	}
+	return out.ID, nil
+}
+
+// Status polls one job.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatusJSON, error) {
+	var st JobStatusJSON
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st, true); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls the job every interval until it reaches a terminal state
+// (done or failed — inspect the returned status) or ctx is cancelled.
+// Interval <= 0 means 25 ms.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*JobStatusJSON, error) {
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State == string(JobDone) || st.State == string(JobFailed) {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Alignments fetches a finished job's alignments.
+func (c *Client) Alignments(ctx context.Context, id string) ([]AlignmentJSON, error) {
+	var out []AlignmentJSON
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/alignments", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Cancel stops a job. Cancelling an already-finished job is a no-op
+// on the server and returns nil here.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil, true)
+}
+
+// Healthy probes /healthz once.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, false)
+}
+
+// WaitHealthy polls /healthz until the service answers or ctx is
+// cancelled — the "daemon just forked, wait for it to come up" helper.
+func (c *Client) WaitHealthy(ctx context.Context) error {
+	for {
+		if err := c.Healthy(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-time.After(25 * time.Millisecond):
+		case <-ctx.Done():
+			return fmt.Errorf("service at %s not healthy: %w", c.base, ctx.Err())
+		}
+	}
+}
+
+// do issues one API call: marshal in (when non-nil), decode the JSON
+// response into out (when non-nil). retry enables the backoff loop for
+// idempotent calls; 4xx responses never retry (the request itself is
+// wrong), 5xx and transport errors do.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, retry bool) error {
+	attempts := 1
+	if retry {
+		attempts = c.attempts
+	}
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("service: encoding request: %w", err)
+		}
+	}
+	backoff := c.backoff
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			backoff *= 2
+		}
+		var rd io.Reader
+		if in != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			apiErr := &APIError{StatusCode: resp.StatusCode, Message: readError(resp.Body)}
+			resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				lastErr = apiErr
+				continue
+			}
+			return apiErr
+		}
+		if out == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("service: decoding response: %w", err)
+			continue // a truncated body is transient; retry when allowed
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// readError extracts the handler's {"error": ...} message, falling
+// back to the raw body.
+func readError(r io.Reader) string {
+	raw, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
+}

@@ -11,11 +11,12 @@ import (
 	"seedblast/internal/core"
 	"seedblast/internal/gapped"
 	"seedblast/internal/pipeline"
+	"seedblast/internal/stats"
 	"seedblast/internal/translate"
 )
 
-// maxRequestBytes bounds a submitted job body (banks are sent inline).
-const maxRequestBytes = 64 << 20
+// MaxRequestBytes bounds a submitted job body (banks are sent inline).
+const MaxRequestBytes = 64 << 20
 
 // NewHandler returns the service's HTTP+JSON API:
 //
@@ -63,6 +64,19 @@ type OptionsJSON struct {
 	InFlight      int      `json:"inFlight,omitempty"`
 	StreamWorkers int      `json:"streamWorkers,omitempty"`
 	GeneticCode   string   `json:"geneticCode,omitempty"`
+	// SearchSpace is the volume context: when the submitted subject is
+	// one volume of a larger partitioned bank, the coordinator sets the
+	// full bank's geometry here so this worker's E-values (and the
+	// maxEValue cut) are computed against the whole database — making
+	// the gathered, merged result bit-identical to an unpartitioned
+	// run. Absent means the subject bank is the whole database.
+	SearchSpace *SearchSpaceJSON `json:"searchSpace,omitempty"`
+}
+
+// SearchSpaceJSON is the wire form of stats.SearchSpace.
+type SearchSpaceJSON struct {
+	DBLen  int `json:"dbLen"`            // full database length in residues
+	DBSeqs int `json:"dbSeqs,omitempty"` // full database sequence count
 }
 
 // JobRequestJSON is a submitted comparison: a query bank against
@@ -108,14 +122,18 @@ type AlignmentJSON struct {
 	NucEnd   *int   `json:"nucEnd,omitempty"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON encodes v as the response with the given status code. It
+// is shared with the cluster daemon so both speak one wire dialect.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// WriteError writes the API's {"error": ...} response — the shape
+// Client.readError decodes.
+func WriteError(w http.ResponseWriter, code int, format string, args ...any) {
+	WriteJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // buildOptions maps the wire options onto core.Options.
@@ -163,6 +181,16 @@ func buildOptions(oj OptionsJSON) (core.Options, error) {
 		}
 		opt.GeneticCode = code
 	}
+	if oj.SearchSpace != nil {
+		sp := stats.SearchSpace{DBLen: oj.SearchSpace.DBLen, DBSeqs: oj.SearchSpace.DBSeqs}
+		if err := sp.Validate(); err != nil {
+			return opt, err
+		}
+		if sp.IsZero() {
+			return opt, fmt.Errorf("searchSpace present but empty (needs dbLen)")
+		}
+		opt.SearchSpaceOverride = sp
+	}
 	return opt, nil
 }
 
@@ -184,44 +212,44 @@ func decodeBank(name string, seqs []SequenceJSON) (*bank.Bank, error) {
 
 func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
 	var body JobRequestJSON
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err := dec.Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		WriteError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
 	if len(body.Query) == 0 {
-		writeError(w, http.StatusBadRequest, "request needs a query bank")
+		WriteError(w, http.StatusBadRequest, "request needs a query bank")
 		return
 	}
 	if (len(body.Subject) == 0) == (body.Genome == "") {
-		writeError(w, http.StatusBadRequest, "request needs exactly one of subject or genome")
+		WriteError(w, http.StatusBadRequest, "request needs exactly one of subject or genome")
 		return
 	}
 	opt, err := buildOptions(body.Options)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "options: %v", err)
+		WriteError(w, http.StatusBadRequest, "options: %v", err)
 		return
 	}
 	req := &Request{Options: opt}
 	if req.Query, err = decodeBank("query", body.Query); err != nil {
-		writeError(w, http.StatusBadRequest, "query: %v", err)
+		WriteError(w, http.StatusBadRequest, "query: %v", err)
 		return
 	}
 	if body.Genome != "" {
 		if req.Genome, err = alphabet.EncodeDNA(body.Genome); err != nil {
-			writeError(w, http.StatusBadRequest, "genome: %v", err)
+			WriteError(w, http.StatusBadRequest, "genome: %v", err)
 			return
 		}
 	} else if req.Subject, err = decodeBank("subject", body.Subject); err != nil {
-		writeError(w, http.StatusBadRequest, "subject: %v", err)
+		WriteError(w, http.StatusBadRequest, "subject: %v", err)
 		return
 	}
 	j, err := h.svc.Submit(req)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		WriteError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID(), "state": string(j.State())})
+	WriteJSON(w, http.StatusAccepted, map[string]string{"id": j.ID(), "state": string(j.State())})
 }
 
 func jobStatus(j *Job) JobStatusJSON {
@@ -268,27 +296,27 @@ func (h *handler) list(w http.ResponseWriter, _ *http.Request) {
 	for _, j := range jobs {
 		out = append(out, jobStatus(j))
 	}
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
 func (h *handler) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	j, ok := h.svc.Job(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		WriteError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 	}
 	return j, ok
 }
 
 func (h *handler) status(w http.ResponseWriter, r *http.Request) {
 	if j, ok := h.lookup(w, r); ok {
-		writeJSON(w, http.StatusOK, jobStatus(j))
+		WriteJSON(w, http.StatusOK, jobStatus(j))
 	}
 }
 
 func (h *handler) cancel(w http.ResponseWriter, r *http.Request) {
 	if j, ok := h.lookup(w, r); ok {
 		j.Cancel()
-		writeJSON(w, http.StatusOK, map[string]string{"id": j.ID(), "state": string(j.State())})
+		WriteJSON(w, http.StatusOK, map[string]string{"id": j.ID(), "state": string(j.State())})
 	}
 }
 
@@ -299,11 +327,11 @@ func (h *handler) alignments(w http.ResponseWriter, r *http.Request) {
 	}
 	switch j.State() {
 	case JobFailed:
-		writeError(w, http.StatusConflict, "job failed: %v", j.Err())
+		WriteError(w, http.StatusConflict, "job failed: %v", j.Err())
 		return
 	case JobQueued, JobRunning:
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusConflict, "job is %s; poll until done", j.State())
+		WriteError(w, http.StatusConflict, "job is %s; poll until done", j.State())
 		return
 	}
 	req := j.Request()
@@ -329,7 +357,7 @@ func (h *handler) alignments(w http.ResponseWriter, r *http.Request) {
 			out = append(out, alignmentJSON(req.Query.ID(a.Seq0), req.Subject.ID(a.Seq1), a))
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
 func alignmentJSON(qid, sid string, a *gapped.Alignment) AlignmentJSON {

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// JobStoreEntry is the minimal view a JobStore needs of a job: a
+// channel closed at completion, and the completion time — which must
+// be set before the channel closes, so it is stable once Done is
+// closed.
+type JobStoreEntry interface {
+	Done() <-chan struct{}
+	FinishedAt() time.Time
+}
+
+// JobStore is the bounded, submission-ordered job index shared by the
+// worker daemon and the cluster coordinator daemon (one eviction
+// policy, one implementation). Finished entries are evicted beyond a
+// count cap (oldest first) and past a TTL, checked on every access,
+// so a long-lived daemon's store stays bounded without a background
+// sweeper. Queued and running entries are never evicted. Safe for
+// concurrent use.
+type JobStore[J JobStoreEntry] struct {
+	mu    sync.Mutex
+	max   int
+	ttl   time.Duration
+	jobs  map[string]J
+	order []string
+}
+
+// NewJobStore returns a store evicting finished jobs beyond maxJobs
+// and older than ttl. ttl <= 0 disables age eviction — the daemons'
+// Config types resolve their "zero means default" semantics before
+// calling this.
+func NewJobStore[J JobStoreEntry](maxJobs int, ttl time.Duration) *JobStore[J] {
+	return &JobStore[J]{max: maxJobs, ttl: ttl, jobs: make(map[string]J)}
+}
+
+// Add inserts a job under id and prunes.
+func (s *JobStore[J]) Add(id string, j J) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.pruneLocked()
+}
+
+// Get returns the job with the given id. A finished job past its TTL
+// is gone: expiry is enforced on every lookup.
+func (s *JobStore[J]) Get(id string) (J, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// All returns the retained jobs in submission order.
+func (s *JobStore[J]) All() []J {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+	out := make([]J, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Prune applies the eviction policy now (the daemons call it when a
+// job finishes, so completed results age out even without lookups
+// arriving first).
+func (s *JobStore[J]) Prune() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+}
+
+// pruneLocked drops finished jobs beyond the count cap (oldest first)
+// and finished jobs older than the TTL. Caller holds s.mu.
+func (s *JobStore[J]) pruneLocked() {
+	excess := len(s.order) - s.max
+	if excess <= 0 && s.ttl <= 0 {
+		return
+	}
+	now := time.Now()
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		finished := false
+		select {
+		case <-j.Done():
+			finished = true
+		default:
+		}
+		if finished {
+			if excess > 0 || (s.ttl > 0 && now.Sub(j.FinishedAt()) > s.ttl) {
+				delete(s.jobs, id)
+				if excess > 0 {
+					excess--
+				}
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}

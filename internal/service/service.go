@@ -49,6 +49,18 @@ type Config struct {
 	// running jobs are never dropped). Bounds a long-lived daemon's
 	// memory. Zero or negative means 256.
 	MaxJobsRetained int
+	// JobTTL caps how long a finished job (and its result) stays
+	// pollable; finished jobs older than it are evicted on the next
+	// store access, whichever of TTL and MaxJobsRetained bites first.
+	// Queued and running jobs never expire. Zero means 15 minutes;
+	// negative disables TTL eviction.
+	JobTTL time.Duration
+	// MaxQueued caps async jobs admitted but not yet finished. Pending
+	// jobs hold their full request (banks included) and are never
+	// evicted, so without a cap a submit burst grows daemon memory
+	// without bound no matter what the finished-job eviction does.
+	// Submit rejects beyond it. Zero means 1024; negative disables.
+	MaxQueued int
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +72,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobsRetained <= 0 {
 		c.MaxJobsRetained = 256
+	}
+	if c.JobTTL == 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = 1024
 	}
 	return c
 }
@@ -152,6 +170,14 @@ func (j *Job) GenomeResult() *core.GenomeResult {
 // Done returns a channel closed when the job finishes (done or failed).
 func (j *Job) Done() <-chan struct{} { return j.done }
 
+// FinishedAt returns the completion time (zero until finished); with
+// Done it satisfies JobStoreEntry.
+func (j *Job) FinishedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished
+}
+
 // Cancel stops the job; a queued job fails without running, a running
 // one is cancelled through its context.
 func (j *Job) Cancel() { j.cancel() }
@@ -197,10 +223,11 @@ type Service struct {
 	buildSem chan struct{} // bounds concurrent cold index builds
 	cache    *indexCache
 
+	store *JobStore[*Job]
+
 	mu      sync.Mutex
-	jobs    map[string]*Job
-	order   []string
 	seq     int
+	pending int // async jobs admitted but not finished
 	closed  bool
 	running int
 	waiting int
@@ -225,7 +252,7 @@ func New(cfg Config) *Service {
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		buildSem: make(chan struct{}, cfg.MaxConcurrent),
 		cache:    newIndexCache(cfg.CacheEntries),
-		jobs:     make(map[string]*Job),
+		store:    NewJobStore[*Job](cfg.MaxJobsRetained, cfg.JobTTL),
 	}
 }
 
@@ -261,6 +288,12 @@ func (s *Service) Submit(req *Request) (*Job, error) {
 		cancel()
 		return nil, fmt.Errorf("service: closed")
 	}
+	if s.cfg.MaxQueued > 0 && s.pending >= s.cfg.MaxQueued {
+		s.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("service: %d jobs pending, queue full", s.cfg.MaxQueued)
+	}
+	s.pending++
 	s.seq++
 	j := &Job{
 		id:        fmt.Sprintf("job-%d", s.seq),
@@ -270,10 +303,10 @@ func (s *Service) Submit(req *Request) (*Job, error) {
 		state:     JobQueued,
 		submitted: time.Now(),
 	}
-	s.jobs[j.id] = j
-	s.order = append(s.order, j.id)
-	s.pruneJobsLocked()
 	s.wg.Add(1)
+	// Added under s.mu so concurrent submits land in the store in id
+	// order — Jobs() ordering and oldest-first eviction both rely on it.
+	s.store.Add(j.id, j)
 	s.mu.Unlock()
 
 	go func() {
@@ -298,57 +331,19 @@ func (s *Service) Submit(req *Request) (*Job, error) {
 		j.mu.Unlock()
 		close(j.done)
 		s.mu.Lock()
-		s.pruneJobsLocked()
+		s.pending--
 		s.mu.Unlock()
+		s.store.Prune()
 	}()
 	return j, nil
 }
 
-// pruneJobsLocked drops the oldest finished jobs beyond
-// MaxJobsRetained so a long-lived service's job store stays bounded.
-// Queued and running jobs are never dropped. Caller holds s.mu.
-func (s *Service) pruneJobsLocked() {
-	excess := len(s.order) - s.cfg.MaxJobsRetained
-	if excess <= 0 {
-		return
-	}
-	kept := s.order[:0]
-	for _, id := range s.order {
-		j := s.jobs[id]
-		finished := false
-		select {
-		case <-j.done:
-			finished = true
-		default:
-		}
-		if excess > 0 && finished {
-			delete(s.jobs, id)
-			excess--
-			continue
-		}
-		kept = append(kept, id)
-	}
-	s.order = kept
-}
+// Job returns the job with the given id. A finished job past its TTL
+// is gone: expiry is enforced on every lookup.
+func (s *Service) Job(id string) (*Job, bool) { return s.store.Get(id) }
 
-// Job returns the job with the given id.
-func (s *Service) Job(id string) (*Job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	return j, ok
-}
-
-// Jobs returns all jobs in submission order.
-func (s *Service) Jobs() []*Job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*Job, 0, len(s.order))
-	for _, id := range s.order {
-		out = append(out, s.jobs[id])
-	}
-	return out
-}
+// Jobs returns all retained jobs in submission order.
+func (s *Service) Jobs() []*Job { return s.store.All() }
 
 // Close stops accepting new jobs and waits for outstanding ones.
 func (s *Service) Close() {

@@ -422,6 +422,104 @@ func TestJobRetentionBounded(t *testing.T) {
 	}
 }
 
+// TTL eviction: finished jobs older than JobTTL disappear on the next
+// store access, while unexpired and running jobs survive — the other
+// half of the long-running-daemon memory bound next to
+// MaxJobsRetained.
+func TestJobTTLEviction(t *testing.T) {
+	b0, b1 := testWorkload(t, 4, 62)
+	svc := New(Config{JobTTL: 30 * time.Millisecond})
+	defer svc.Close()
+
+	j, err := svc.Submit(&Request{Query: b0, Subject: b1, Options: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Freshly finished: still pollable.
+	if _, ok := svc.Job(j.ID()); !ok {
+		t.Fatal("finished job evicted before its TTL")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		time.Sleep(10 * time.Millisecond)
+		if _, ok := svc.Job(j.ID()); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("finished job survived well past its TTL")
+		}
+	}
+
+	// TTL starts at finish time: a job that just finished is pollable
+	// even though older jobs have already expired.
+	j2, err := svc.Submit(&Request{Query: b0, Subject: b1, Options: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := svc.Job(j2.ID()); !ok {
+		t.Error("just-finished job missing: TTL must start at finish time, not submit time")
+	}
+
+	// Negative TTL disables age-based eviction entirely.
+	keep := New(Config{JobTTL: -1})
+	defer keep.Close()
+	k, err := keep.Submit(&Request{Query: b0, Subject: b1, Options: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if _, ok := keep.Job(k.ID()); !ok {
+		t.Error("JobTTL < 0 should disable TTL eviction")
+	}
+}
+
+// MaxQueued bounds unfinished jobs: pending jobs pin their full
+// request and are exempt from eviction, so the queue itself must cap.
+func TestSubmitQueueBounded(t *testing.T) {
+	b0, b1 := testWorkload(t, 3, 63)
+	svc := New(Config{MaxConcurrent: 1, MaxQueued: 2})
+	defer svc.Close()
+
+	// Hold the only admission slot so submitted jobs stay pending.
+	svc.sem <- struct{}{}
+	j1, err := svc.Submit(&Request{Query: b0, Subject: b1, Options: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := svc.Submit(&Request{Query: b0, Subject: b1, Options: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(&Request{Query: b0, Subject: b1, Options: testOptions()}); err == nil {
+		t.Fatal("submission beyond MaxQueued accepted")
+	}
+	<-svc.sem // release admission; the pending jobs drain
+	if err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// With the queue drained, submissions are accepted again.
+	j3, err := svc.Submit(&Request{Query: b0, Subject: b1, Options: testOptions()})
+	if err != nil {
+		t.Fatalf("queue did not reopen after draining: %v", err)
+	}
+	if err := j3.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // A zero Options through the service must behave exactly like
 // core.Compare with DefaultOptions — including the gap-trigger
 // pre-filter, which a zero gapped.Config would silently disable.

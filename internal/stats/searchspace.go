@@ -1,0 +1,58 @@
+package stats
+
+import "fmt"
+
+// SearchSpace pins the database side of the Karlin-Altschul search
+// space explicitly, instead of letting each stage infer it from
+// whatever subject bank it happens to hold. E-values scale with the
+// product m·n of effective query and database lengths, so two runs
+// that score the same alignment against differently-sized views of the
+// same database disagree on significance. That matters the moment a
+// bank is partitioned into volumes: each volume worker sees only its
+// slice of the database, but the E-value a hit reports (and the
+// E ≤ MaxEValue cut it must survive) has to be computed against the
+// full bank for the merged result to equal an unpartitioned run.
+//
+// The zero value means "derive from the data at hand" (the historical
+// behaviour: n = subject bank total residues).
+type SearchSpace struct {
+	// DBLen is the database length n in residues — for a partitioned
+	// search, the total residues of the full bank, not the volume.
+	DBLen int
+	// DBSeqs is the number of database sequences. The current E-value
+	// formula does not consume it, but it travels with DBLen so a
+	// coordinator can hand workers the complete database geometry (and
+	// so future per-sequence corrections, e.g. BLAST's database-length
+	// adjustment variants, need no wire change).
+	DBSeqs int
+}
+
+// IsZero reports whether the search space is unset, meaning callers
+// should fall back to deriving n from the subject data they hold.
+func (s SearchSpace) IsZero() bool { return s == SearchSpace{} }
+
+// Validate rejects geometries that cannot describe a database.
+func (s SearchSpace) Validate() error {
+	if s.DBLen < 0 || s.DBSeqs < 0 {
+		return fmt.Errorf("stats: negative search space (dbLen=%d dbSeqs=%d)", s.DBLen, s.DBSeqs)
+	}
+	if s.DBLen == 0 && s.DBSeqs > 0 {
+		return fmt.Errorf("stats: search space with %d sequences but zero residues", s.DBSeqs)
+	}
+	return nil
+}
+
+// String renders the geometry for logs and error messages.
+func (s SearchSpace) String() string {
+	if s.IsZero() {
+		return "search-space(derived)"
+	}
+	return fmt.Sprintf("search-space(n=%d aa, %d seqs)", s.DBLen, s.DBSeqs)
+}
+
+// EValueIn returns the expected number of chance alignments scoring at
+// least raw for a query of length m against this database geometry.
+// It is EValue with the database side fixed by the SearchSpace.
+func (p Params) EValueIn(raw, m int, sp SearchSpace) float64 {
+	return p.EValue(raw, m, sp.DBLen)
+}

@@ -1,0 +1,48 @@
+package stats
+
+import "testing"
+
+func TestSearchSpaceZeroAndValidate(t *testing.T) {
+	var z SearchSpace
+	if !z.IsZero() {
+		t.Error("zero SearchSpace should report IsZero")
+	}
+	if err := z.Validate(); err != nil {
+		t.Errorf("zero SearchSpace should validate: %v", err)
+	}
+	ok := SearchSpace{DBLen: 1000, DBSeqs: 4}
+	if ok.IsZero() {
+		t.Error("non-zero SearchSpace reported IsZero")
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid SearchSpace rejected: %v", err)
+	}
+	for _, bad := range []SearchSpace{
+		{DBLen: -1},
+		{DBSeqs: -2},
+		{DBLen: 0, DBSeqs: 3},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("SearchSpace %+v should not validate", bad)
+		}
+	}
+}
+
+// TestEValueInMatchesEValue pins the core contract: fixing the search
+// space explicitly is the same computation as passing n positionally,
+// so a worker given the full-bank geometry reproduces the single-node
+// E-value bit for bit.
+func TestEValueInMatchesEValue(t *testing.T) {
+	p := GappedBLOSUM62
+	for _, tc := range []struct{ raw, m, n int }{
+		{60, 120, 5_000},
+		{45, 300, 1_000_000},
+		{80, 50, 250},
+	} {
+		got := p.EValueIn(tc.raw, tc.m, SearchSpace{DBLen: tc.n, DBSeqs: 7})
+		want := p.EValue(tc.raw, tc.m, tc.n)
+		if got != want {
+			t.Errorf("EValueIn(%d,%d,n=%d) = %g, want %g", tc.raw, tc.m, tc.n, got, want)
+		}
+	}
+}
