@@ -4,9 +4,12 @@
 // volumes, scatters one comparison per volume across a set of
 // seedservd workers (each job carrying the full bank's search-space
 // geometry, so per-volume E-values match the unpartitioned run), and
-// gathers the merged, globally re-ranked alignments. Failed workers
-// are retried around; /cluster/metrics exposes per-worker latency,
-// retry counts and volume skew.
+// gathers the merged, globally re-ranked alignments — streamed off
+// each worker's NDJSON fetch path and k-way merged, so no per-volume
+// input list is buffered whole on the coordinator (the merged report
+// itself is retained for the job API). Failed workers are retried
+// around; /cluster/metrics exposes per-worker latency, retry counts
+// and volume skew.
 //
 //	# two workers, then the coordinator over them:
 //	seedservd -addr 127.0.0.1:8845 &
@@ -20,6 +23,7 @@
 //	  "subject":[{"id":"s0","seq":"MKI..."}],"options":{"maxEValue":10}}'
 //	curl -s localhost:8844/v1/jobs/cjob-1
 //	curl -s localhost:8844/v1/jobs/cjob-1/alignments
+//	curl -sN localhost:8844/v1/jobs/cjob-1/alignments?stream=1
 //	curl -s localhost:8844/cluster/metrics
 package main
 

@@ -2,6 +2,10 @@
 // seed-based pipeline, printing matches in genome coordinates and the
 // per-step timing profile. It is the reproduction's equivalent of
 // running tblastn: either real FASTA inputs or a synthetic workload.
+// It drives the v2 search API: a Searcher built once from options, a
+// GenomeTarget owning the six-frame translation and its index, and a
+// streaming result — with -format json|tsv matches are written as they
+// leave the pipeline, before the run has finished.
 //
 // Examples:
 //
@@ -9,9 +13,13 @@
 //	seedcmp -synthetic 100 -genome-len 1000000 -plant 10 -engine rasc -pes 192
 //	seedcmp -synthetic 20 -report   # full BLAST-style report with alignments
 //	seedcmp -synthetic 100 -shard-size 16 -inflight 2 -engine multi
+//	seedcmp -synthetic 100 -format json | jq .eValue   # streaming NDJSON
+//	seedcmp -synthetic 100 -format tsv  | cut -f1,5    # streaming TSV
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +29,7 @@ import (
 	"seedblast"
 	"seedblast/internal/matrix"
 	"seedblast/internal/report"
+	"seedblast/internal/service"
 )
 
 func main() {
@@ -43,62 +52,86 @@ func main() {
 		offloadGap   = flag.Bool("offload-gapped", false, "simulate the future-work gap operator on the second FPGA")
 		threshold    = flag.Int("threshold", 38, "ungapped score threshold")
 		evalue       = flag.Float64("evalue", 1e-3, "maximum E-value")
-		top          = flag.Int("top", 20, "matches to print (0 = all)")
+		top          = flag.Int("top", 20, "matches to print in the human report (0 = all; machine formats always stream all)")
 		full         = flag.Bool("report", false, "print a full BLAST-style report with alignment blocks")
+		format       = flag.String("format", "", "machine-readable match output: json (NDJSON, the service's alignment encoding) or tsv; matches stream to stdout, the summary goes to stderr")
 		codeName     = flag.String("code", "standard", "genetic code: standard/1, bacterial/11, mito/2")
 	)
 	flag.Parse()
+
+	if *format != "" && *format != "json" && *format != "tsv" {
+		log.Fatalf("unknown format %q (json, tsv)", *format)
+	}
+	if *format != "" && *full {
+		log.Fatal("-format and -report are mutually exclusive")
+	}
 
 	bank, genome, err := loadInputs(*proteinsPath, *genomePath, *synthetic, *genomeLen, *plant, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	opt := seedblast.DefaultOptions()
-	opt.UngappedThreshold = *threshold
-	opt.Gapped.MaxEValue = *evalue
-	opt.Gapped.Traceback = *full
 	code, err := seedblast.GeneticCodeByName(*codeName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt.GeneticCode = code
+
+	workers := *streamW
+	if workers <= 0 {
+		workers = 1
+		if *engine == "multi" {
+			workers = 2 // one in-flight shard per backend, so cpu and rasc run concurrently
+		}
+	}
+	opts := []seedblast.Option{
+		seedblast.WithUngappedThreshold(*threshold),
+		seedblast.WithMaxEValue(*evalue),
+		seedblast.WithTraceback(*full),
+		seedblast.WithPipeline(seedblast.PipelineConfig{
+			ShardSize:    *shardSize,
+			InFlight:     *inflight,
+			Step2Workers: workers,
+			Step3Workers: workers,
+		}),
+	}
+	rasc := seedblast.RASCOptions{NumPEs: *pes, NumFPGAs: *fpgas, OffloadGapped: *offloadGap}
 	switch *engine {
 	case "cpu":
-		opt.Engine = seedblast.EngineCPU
+		opts = append(opts, seedblast.WithEngine(seedblast.EngineCPU))
 	case "rasc":
-		opt.Engine = seedblast.EngineRASC
-		opt.RASC.NumPEs = *pes
-		opt.RASC.NumFPGAs = *fpgas
-		opt.RASC.OffloadGapped = *offloadGap
+		opts = append(opts, seedblast.WithEngine(seedblast.EngineRASC), seedblast.WithRASC(rasc))
 	case "multi":
 		if *offloadGap {
 			log.Fatal("-offload-gapped requires -engine rasc (step 3 stays on the host under multi dispatch)")
 		}
-		opt.Engine = seedblast.EngineMulti
-		opt.RASC.NumPEs = *pes
-		opt.RASC.NumFPGAs = *fpgas
+		opts = append(opts, seedblast.WithEngine(seedblast.EngineMulti), seedblast.WithRASC(rasc))
 	default:
 		log.Fatalf("unknown engine %q (cpu, rasc, multi)", *engine)
 	}
-	workers := *streamW
-	if workers <= 0 {
-		workers = 1
-		if opt.Engine == seedblast.EngineMulti {
-			workers = 2 // one in-flight shard per backend, so cpu and rasc run concurrently
-		}
-	}
-	opt.Pipeline = seedblast.PipelineConfig{
-		ShardSize:    *shardSize,
-		InFlight:     *inflight,
-		Step2Workers: workers,
-		Step3Workers: workers,
-	}
 
-	res, err := seedblast.CompareGenome(bank, genome, opt)
+	searcher, err := seedblast.NewSearcher(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	results := searcher.Search(context.Background(),
+		seedblast.NewProteinTarget(bank), seedblast.NewGenomeTarget(genome, code))
+
+	if *format != "" {
+		sum, n := streamMatches(results, *format)
+		fmt.Fprintf(os.Stderr, "seedcmp: %d matches; pairs scored %d; hits %d\n", n, sum.Pairs, sum.Hits)
+		fmt.Fprintf(os.Stderr, "seedcmp: timing: step1 %v, step2 %v, step3 %v\n",
+			sum.Times.Index, sum.Times.Ungapped, sum.Times.Gapped)
+		return
+	}
+
+	ms, err := results.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := results.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := seedblast.GenomeResultFrom(ms, sum, len(genome))
 
 	if *full {
 		if err := report.WriteGenomeReport(os.Stdout, bank, genome, res, matrix.BLOSUM62); err != nil {
@@ -128,6 +161,40 @@ func main() {
 	if n < len(res.Matches) {
 		fmt.Printf("... and %d more\n", len(res.Matches)-n)
 	}
+}
+
+// streamMatches writes every match to stdout as it leaves the
+// pipeline — json is NDJSON in the service's AlignmentJSON encoding,
+// tsv is tab-separated with a header — and returns the summary once
+// the stream is drained.
+func streamMatches(results *seedblast.Results, format string) (*seedblast.Summary, int) {
+	enc := json.NewEncoder(os.Stdout)
+	if format == "tsv" {
+		fmt.Println("query\tframe\tscore\tbits\teValue\tqStart\tqEnd\tnucStart\tnucEnd")
+	}
+	n := 0
+	for m, err := range results.Matches() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		n++
+		switch format {
+		case "json":
+			aj := service.MatchJSON(&m)
+			if err := enc.Encode(aj); err != nil {
+				log.Fatal(err)
+			}
+		case "tsv":
+			fmt.Printf("%s\t%s\t%d\t%.1f\t%.2e\t%d\t%d\t%d\t%d\n",
+				m.Query.ID, m.Subject.Frame, m.Score, m.BitScore, m.EValue,
+				m.Q.Start, m.Q.End, m.Subject.NucStart, m.Subject.NucEnd)
+		}
+	}
+	sum, err := results.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sum, n
 }
 
 func printTiming(res *seedblast.GenomeResult) {

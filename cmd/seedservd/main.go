@@ -6,11 +6,14 @@
 //
 //	seedservd -addr :8844 -max-concurrent 4 -cache-entries 16
 //
-//	# submit, poll, fetch:
+//	# submit, poll, fetch (add ?stream=1 for chunked NDJSON — one
+//	# alignment per line, decoded incrementally by
+//	# service.Client.StreamAlignments):
 //	curl -s localhost:8844/v1/jobs -d '{"query":[{"id":"q0","seq":"MKV..."}],
 //	  "subject":[{"id":"s0","seq":"MKI..."}],"options":{"maxEValue":10}}'
 //	curl -s localhost:8844/v1/jobs/job-1
 //	curl -s localhost:8844/v1/jobs/job-1/alignments
+//	curl -sN localhost:8844/v1/jobs/job-1/alignments?stream=1
 //	curl -s localhost:8844/metrics
 package main
 

@@ -2,12 +2,14 @@ package seedblast_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -51,6 +53,55 @@ func TestCmdSeedcmpSmoke(t *testing.T) {
 		"-engine", "rasc", "-pes", "64", "-offload-gapped")
 	if !strings.Contains(out, "gap operator") || !strings.Contains(out, "device:") {
 		t.Errorf("rasc output missing device sections:\n%s", out)
+	}
+}
+
+// TestExampleQuickstartSmoke runs the README's v2 quick-start example
+// end to end: the facade's NewSearcher/Target/Search surface, driven
+// exactly as a new user would.
+func TestExampleQuickstartSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests in -short mode")
+	}
+	bin := buildTool(t, "examples/quickstart")
+	out := run(t, bin)
+	for _, want := range []string{"planted 5 genes", "frame", "timing: index"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCmdSeedcmpFormats pins the machine-readable match output: -format
+// json must emit one decodable AlignmentJSON per line (the service's
+// wire encoding), -format tsv a tab-separated table.
+func TestCmdSeedcmpFormats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests in -short mode")
+	}
+	bin := buildTool(t, "cmd/seedcmp")
+	out := run(t, bin, "-synthetic", "8", "-genome-len", "30000", "-plant", "3", "-format", "json")
+	lines := 0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue // summary lines go to stderr, but CombinedOutput interleaves
+		}
+		lines++
+		var aj service.AlignmentJSON
+		if err := json.Unmarshal([]byte(line), &aj); err != nil {
+			t.Fatalf("line %q not AlignmentJSON: %v", line, err)
+		}
+		if aj.Query == "" || aj.Frame == "" || aj.NucStart == nil {
+			t.Errorf("json match missing fields: %q", line)
+		}
+	}
+	if lines == 0 {
+		t.Fatalf("no NDJSON matches in output:\n%s", out)
+	}
+
+	out = run(t, bin, "-synthetic", "8", "-genome-len", "30000", "-plant", "3", "-format", "tsv")
+	if !strings.Contains(out, "query\tframe\tscore") {
+		t.Errorf("tsv output missing header:\n%s", out)
 	}
 }
 
@@ -171,6 +222,25 @@ func smokeJob(t *testing.T, base string) {
 	}
 	if aligns[0].Query != "q0" || aligns[0].Subject != "s0" {
 		t.Errorf("top alignment %+v, want q0 vs s0", aligns[0])
+	}
+
+	// The streaming NDJSON fetch must carry the same records in the
+	// same order — against workers and the coordinator alike.
+	var streamed []service.AlignmentJSON
+	for aj, err := range cl.StreamAlignments(ctx, id) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, aj)
+	}
+	if len(streamed) != len(aligns) {
+		t.Fatalf("streamed %d alignments, array fetch %d", len(streamed), len(aligns))
+	}
+	// DeepEqual, not ==: AlignmentJSON's NucStart/NucEnd are pointers,
+	// which == would compare by identity and always differ on genome
+	// jobs even when the values agree.
+	if !reflect.DeepEqual(streamed, aligns) {
+		t.Errorf("streamed alignments differ from array fetch:\n%+v\nvs\n%+v", streamed, aligns)
 	}
 }
 

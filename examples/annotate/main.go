@@ -1,12 +1,15 @@
 // Annotate: the genome-annotation workflow the paper's introduction
 // motivates — locate regions of a newly sequenced genome with
 // significant similarity to a bank of known proteins, then report them
-// as candidate genes with frames, coordinates and alignments.
+// as candidate genes with frames, coordinates and alignments. Runs on
+// the v2 search API: the known-protein bank and the genome are both
+// reusable targets.
 //
 //	go run ./examples/annotate
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -35,21 +38,27 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt := seedblast.DefaultOptions()
-	opt.Gapped.Traceback = true // keep alignment operations for reporting
-	res, err := seedblast.CompareGenome(known, genome, opt)
+	searcher, err := seedblast.NewSearcher(
+		seedblast.WithTraceback(true), // keep alignment operations for reporting
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := searcher.Search(context.Background(),
+		seedblast.NewProteinTarget(known), seedblast.NewGenomeTarget(genome, nil))
+	matches, err := results.Collect()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Group matches into non-overlapping candidate genes (best match
 	// per region), sorted along the genome.
-	sort.Slice(res.Matches, func(i, j int) bool {
-		return res.Matches[i].NucStart < res.Matches[j].NucStart
+	sort.Slice(matches, func(i, j int) bool {
+		return matches[i].Subject.NucStart < matches[j].Subject.NucStart
 	})
-	var annotations []seedblast.GenomeMatch
-	for _, m := range res.Matches {
-		if n := len(annotations); n > 0 && m.NucStart < annotations[n-1].NucEnd {
+	var annotations []seedblast.Match
+	for _, m := range matches {
+		if n := len(annotations); n > 0 && m.Subject.NucStart < annotations[n-1].Subject.NucEnd {
 			if m.Score > annotations[n-1].Score {
 				annotations[n-1] = m // better call for the same locus
 			}
@@ -65,16 +74,17 @@ func main() {
 		"locus", "protein", "frame", "genome interval", "score", "E-value")
 	for i, m := range annotations {
 		fmt.Printf("%-8d %-12s %-6s [%9d, %9d) %8d %12.2e\n",
-			i+1, known.ID(m.Protein), m.Frame, m.NucStart, m.NucEnd, m.Score, m.EValue)
+			i+1, m.Query.ID, m.Subject.Frame, m.Subject.NucStart, m.Subject.NucEnd,
+			m.Score, m.EValue)
 	}
 
 	// Recall against the planted truth.
 	found := 0
 	for _, g := range truth {
 		for _, m := range annotations {
-			lo := max(m.NucStart, g.Start)
-			hi := min(m.NucEnd, g.Start+g.NucLen)
-			if m.Protein == g.ProteinIdx && hi-lo >= g.NucLen/2 {
+			lo := max(m.Subject.NucStart, g.Start)
+			hi := min(m.Subject.NucEnd, g.Start+g.NucLen)
+			if m.Query.Seq == g.ProteinIdx && hi-lo >= g.NucLen/2 {
 				found++
 				break
 			}

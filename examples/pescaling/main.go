@@ -1,12 +1,16 @@
 // PE scaling: explore how the simulated RASC-100's step-2 time,
 // utilization and speedup over the sequential software engine change
 // with the PE array size — the design space behind the paper's
-// Tables 2 and 4.
+// Tables 2 and 4. Built on the v2 search API, the sweep shares one
+// GenomeTarget: its six-frame index is built once and reused by every
+// configuration (same seed model and N), so the runs measure the
+// engines, not repeated indexing.
 //
 //	go run ./examples/pescaling
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -41,14 +45,31 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Reference: the sequential software critical section.
-	seqOpt := seedblast.DefaultOptions()
-	seqOpt.Seed = coarse
-	seqOpt.Workers = 1
-	ref, err := seedblast.CompareGenome(proteins, genome, seqOpt)
-	if err != nil {
-		log.Fatal(err)
+	// One target for the whole sweep: the frame-bank index is built by
+	// the first search and reused by all later ones.
+	queries := seedblast.NewProteinTarget(proteins)
+	target := seedblast.NewGenomeTarget(genome, nil)
+	ctx := context.Background()
+
+	run := func(opts ...seedblast.Option) *seedblast.Summary {
+		opts = append([]seedblast.Option{seedblast.WithSeed(coarse)}, opts...)
+		searcher, err := seedblast.NewSearcher(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results := searcher.Search(ctx, queries, target)
+		if _, err := results.Collect(); err != nil {
+			log.Fatal(err)
+		}
+		sum, err := results.Summary()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sum
 	}
+
+	// Reference: the sequential software critical section.
+	ref := run(seedblast.WithWorkers(1))
 	seqStep2 := ref.Times.Ungapped
 	fmt.Printf("workload: %d proteins (%d aa) vs %d nt genome\n",
 		proteins.Len(), proteins.TotalResidues(), len(genome))
@@ -57,15 +78,11 @@ func main() {
 	fmt.Printf("%6s %14s %14s %12s %10s\n",
 		"PEs", "simulated t", "compute t", "utilization", "speedup")
 	for _, pes := range []int{16, 32, 64, 128, 192, 384} {
-		opt := seedblast.DefaultOptions()
-		opt.Seed = coarse
-		opt.Engine = seedblast.EngineRASC
-		opt.RASC.NumPEs = pes
-		res, err := seedblast.CompareGenome(proteins, genome, opt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		dev := res.Device
+		sum := run(
+			seedblast.WithEngine(seedblast.EngineRASC),
+			seedblast.WithRASC(seedblast.RASCOptions{NumPEs: pes}),
+		)
+		dev := sum.Device
 		simT := time.Duration(dev.Seconds * float64(time.Second))
 		fmt.Printf("%6d %14v %14v %11.1f%% %10.1f\n",
 			pes, simT.Round(time.Microsecond),

@@ -1,10 +1,12 @@
 // Quickstart: compare a small protein bank against a synthetic genome
-// and print the similarity regions the pipeline finds.
+// with the v2 search API and print similarity regions as the pipeline
+// streams them out.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,21 +33,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("planted %d genes in a %d nt genome\n", len(genes), len(genome))
+	fmt.Printf("planted %d genes in a %d nt genome\n\n", len(genes), len(genome))
 
-	// Run the three-step pipeline (tblastn-style: the genome is
-	// translated into its six reading frames internally).
-	res, err := seedblast.CompareGenome(proteins, genome, seedblast.DefaultOptions())
+	// A Searcher is built once from options (the defaults here) and a
+	// GenomeTarget owns the genome's six-frame translation plus its
+	// reusable step-1 index — build either once, search many times.
+	searcher, err := seedblast.NewSearcher()
 	if err != nil {
 		log.Fatal(err)
 	}
+	target := seedblast.NewGenomeTarget(genome, nil) // nil = standard genetic code
 
-	fmt.Printf("scored %d seed pairs, %d survived ungapped filtering, %d alignments\n\n",
-		res.Pairs, res.Hits, len(res.Matches))
-	for _, m := range res.Matches {
+	// Search streams: matches arrive as each pipeline shard finishes
+	// final ranking, already in global rank order. (Use Collect() for
+	// the old materialized-slice behaviour.)
+	results := searcher.Search(context.Background(), seedblast.NewProteinTarget(proteins), target)
+	n := 0
+	for m, err := range results.Matches() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		n++
 		fmt.Printf("%-12s frame %-3s genome [%6d, %6d)  score %4d  E = %.2e\n",
-			proteins.ID(m.Protein), m.Frame, m.NucStart, m.NucEnd, m.Score, m.EValue)
+			m.Query.ID, m.Subject.Frame, m.Subject.NucStart, m.Subject.NucEnd,
+			m.Score, m.EValue)
 	}
-	fmt.Printf("\ntiming: index %v, ungapped %v, gapped %v\n",
-		res.Times.Index, res.Times.Ungapped, res.Times.Gapped)
+
+	// Work counters and timings are available once the stream is drained.
+	sum, err := results.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscored %d seed pairs, %d survived ungapped filtering, %d alignments\n",
+		sum.Pairs, sum.Hits, n)
+	fmt.Printf("timing: index %v, ungapped %v, gapped %v\n",
+		sum.Times.Index, sum.Times.Ungapped, sum.Times.Gapped)
 }

@@ -1,17 +1,18 @@
 // Sensitivity: run the family benchmark behind the paper's §4.4 —
 // queries with known family labels searched against a genome of
 // planted homologs and decoys — and report per-family recall for the
-// seed pipeline and the BLAST-style baseline.
+// seed pipeline (v2 search API) and the BLAST-style baseline.
 //
 //	go run ./examples/sensitivity
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-)
 
-import "seedblast"
+	"seedblast"
+)
 
 func main() {
 	fb, err := seedblast.GenerateFamilyBenchmark(seedblast.FamilyConfig{
@@ -28,18 +29,24 @@ func main() {
 	fmt.Printf("benchmark: %d families × 4 members + %d decoys in a %d nt genome\n\n",
 		fb.Queries.Len(), fb.NumDecoys, len(fb.Genome))
 
-	// Seed pipeline.
-	opt := seedblast.DefaultOptions()
-	opt.Gapped.MaxEValue = 10 // relaxed: rankings keep weak hits
-	res, err := seedblast.CompareGenome(fb.Queries, fb.Genome, opt)
+	// Seed pipeline, streamed: true hits are tallied as matches arrive.
+	searcher, err := seedblast.NewSearcher(
+		seedblast.WithMaxEValue(10), // relaxed: rankings keep weak hits
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	results := searcher.Search(context.Background(),
+		seedblast.NewProteinTarget(fb.Queries), seedblast.NewGenomeTarget(fb.Genome, nil))
 	pipeTP := make(map[int]map[int]bool) // query → set of member intervals found
-	for _, m := range res.Matches {
-		fam := fb.QueryFamily[m.Protein]
-		if fb.TrueHit(fam, m.NucStart, m.NucEnd-m.NucStart) {
-			markMember(pipeTP, fb, m.Protein, m.NucStart, m.NucEnd)
+	for m, err := range results.Matches() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := m.Query.Seq
+		fam := fb.QueryFamily[q]
+		if fb.TrueHit(fam, m.Subject.NucStart, m.Subject.NucEnd-m.Subject.NucStart) {
+			markMember(pipeTP, fb, q, m.Subject.NucStart, m.Subject.NucEnd)
 		}
 	}
 

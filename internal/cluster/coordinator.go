@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"sync"
 	"time"
 
@@ -173,10 +174,11 @@ func (c *Coordinator) Compare(ctx context.Context, query, subject []service.Sequ
 	return rep, err
 }
 
-// volumeResult is one gathered volume.
+// volumeResult is one scattered volume's completed job with its
+// already-opened (and primed) result stream, ready for the gather.
 type volumeResult struct {
 	status   *service.JobStatusJSON
-	aligns   []service.AlignmentJSON
+	cursor   *volumeCursor
 	worker   int
 	attempts int
 	latency  time.Duration
@@ -200,8 +202,18 @@ func (c *Coordinator) scatterGather(pctx context.Context, query, subject []servi
 		cancel() // a lost volume sinks the request: stop scattering
 	}
 
+	rank := wireRanker(vols, query, subject)
 	sem := make(chan struct{}, c.cfg.FanOut)
 	results := make([]volumeResult, len(vols))
+	// Every opened volume stream is released on exit, success or not
+	// (stopping an exhausted stream is a no-op).
+	defer func() {
+		for i := range results {
+			if cur := results[i].cursor; cur != nil {
+				cur.stop()
+			}
+		}
+	}()
 	var wg sync.WaitGroup
 	for vi := range vols {
 		wg.Add(1)
@@ -213,7 +225,7 @@ func (c *Coordinator) scatterGather(pctx context.Context, query, subject []servi
 				return
 			}
 			defer func() { <-sem }()
-			res, err := c.runVolume(ctx, vi, vols[vi], query, subject, opt)
+			res, err := c.runVolume(ctx, vi, vols[vi], query, subject, opt, rank)
 			if err != nil {
 				fail(err)
 				return
@@ -233,27 +245,26 @@ func (c *Coordinator) scatterGather(pctx context.Context, query, subject []servi
 		return nil, err
 	}
 
-	// Gather: remap ids to global numbering and re-rank.
-	queryIdx := make(map[string]int, len(query))
-	for i, q := range query {
-		if _, dup := queryIdx[q.ID]; !dup {
-			queryIdx[q.ID] = i
-		}
-	}
-	subjIdxInVol := make([]map[string]int, len(vols))
-	perVol := make([][]service.AlignmentJSON, len(vols))
+	// Gather: k-way merge the per-volume result streams into the global
+	// ranking. Each volume's stream was opened — and its head pulled —
+	// the moment its job completed, so the worker began writing (and so
+	// pinned) the result immediately; the merge then consumes the
+	// streams head-first, buffering one in-flight record per volume on
+	// the input side instead of every volume's full list plus ranking
+	// scratch. The merged output itself is still materialized — the
+	// async job API has to hold it for later fetches.
 	rep := &Report{Volumes: len(vols)}
+	curs := make([]*volumeCursor, len(vols))
+	for vi := range results {
+		curs[vi] = results[vi].cursor
+	}
+	rep.Alignments, err = mergeAlignmentStreams(curs, rank)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: gather: %w", err)
+	}
+
 	for vi := range vols {
 		r := &results[vi]
-		perVol[vi] = r.aligns
-		m := make(map[string]int, len(vols[vi].Seqs))
-		for local, gi := range vols[vi].Seqs {
-			if _, dup := m[subject[gi].ID]; !dup {
-				m[subject[gi].ID] = local
-			}
-		}
-		subjIdxInVol[vi] = m
-
 		st := r.status
 		if st.Hits != nil {
 			rep.Hits += *st.Hits
@@ -272,18 +283,46 @@ func (c *Coordinator) scatterGather(pctx context.Context, query, subject []servi
 			Residues:   vols[vi].Residues,
 			Attempts:   r.attempts,
 			Latency:    r.latency,
-			Alignments: len(r.aligns),
+			Alignments: r.cursor.count,
 		})
 	}
-	rep.Alignments = mergeWireAlignments(vols, perVol, queryIdx, subjIdxInVol)
 	return rep, nil
+}
+
+// wireRanker builds the id→global-number resolver the gather ranks
+// wire alignments with.
+func wireRanker(vols []Volume, query, subject []service.SequenceJSON) func(int, service.AlignmentJSON) rankedAlignment {
+	queryIdx := make(map[string]int, len(query))
+	for i, q := range query {
+		if _, dup := queryIdx[q.ID]; !dup {
+			queryIdx[q.ID] = i
+		}
+	}
+	subjIdxInVol := make([]map[string]int, len(vols))
+	for vi := range vols {
+		m := make(map[string]int, len(vols[vi].Seqs))
+		for local, gi := range vols[vi].Seqs {
+			if _, dup := m[subject[gi].ID]; !dup {
+				m[subject[gi].ID] = local
+			}
+		}
+		subjIdxInVol[vi] = m
+	}
+	return func(vi int, a service.AlignmentJSON) rankedAlignment {
+		return rankedAlignment{
+			a: a,
+			q: queryIdx[a.Query],
+			s: vols[vi].Seqs[subjIdxInVol[vi][a.Subject]],
+		}
+	}
 }
 
 // runVolume tries one volume on up to MaxAttempts distinct workers,
 // starting at the volume's preferred worker (volumes spread
 // round-robin) and excluding workers that already failed this volume.
 func (c *Coordinator) runVolume(ctx context.Context, vi int, vol Volume,
-	query, subject []service.SequenceJSON, opt service.OptionsJSON) (volumeResult, error) {
+	query, subject []service.SequenceJSON, opt service.OptionsJSON,
+	rank func(int, service.AlignmentJSON) rankedAlignment) (volumeResult, error) {
 	sub := make([]service.SequenceJSON, len(vol.Seqs))
 	for local, gi := range vol.Seqs {
 		sub[local] = subject[gi]
@@ -298,11 +337,11 @@ func (c *Coordinator) runVolume(ctx context.Context, vi int, vol Volume,
 		wi := (vi + try) % len(c.clients)
 		attempts++
 		start := time.Now()
-		st, aligns, err := c.runVolumeOn(ctx, c.clients[wi], req)
+		st, cur, err := c.runVolumeOn(ctx, c.clients[wi], req, vi, rank)
 		if err == nil {
 			latency := time.Since(start)
 			c.met.volumeDone(wi, latency)
-			return volumeResult{status: st, aligns: aligns, worker: wi, attempts: attempts, latency: latency}, nil
+			return volumeResult{status: st, cursor: cur, worker: wi, attempts: attempts, latency: latency}, nil
 		}
 		if ctx.Err() != nil {
 			// Cancellation, not worker failure: don't charge the worker.
@@ -332,13 +371,21 @@ type permanentError struct{ err error }
 func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
 
-// runVolumeOn executes one volume job on one worker:
-// submit → poll → fetch. When the wait or fetch is abandoned (context
-// cancelled or worker unreachable) it best-effort cancels the job on
-// the worker over a detached context, so an abandoned volume does not
-// keep burning a worker's admission slot.
+// runVolumeOn executes one volume job on one worker: submit → poll to
+// completion → open the result stream and pull its head. Priming the
+// stream immediately makes the worker start writing the response, so
+// the result cannot be evicted from the worker's job store (max-jobs /
+// job-ttl) while slower volumes finish; the records themselves are
+// consumed later by the gather's k-way merge. A failure to open the
+// stream counts as a worker failure — the caller retries the volume on
+// another worker, exactly as a failed fetch always did. When the wait
+// or the open is abandoned (context cancelled or worker unreachable)
+// the job is best-effort cancelled on the worker over a detached
+// context, so an abandoned volume does not keep burning a worker's
+// admission slot.
 func (c *Coordinator) runVolumeOn(ctx context.Context, cl *service.Client,
-	req *service.JobRequestJSON) (*service.JobStatusJSON, []service.AlignmentJSON, error) {
+	req *service.JobRequestJSON, vi int,
+	rank func(int, service.AlignmentJSON) rankedAlignment) (*service.JobStatusJSON, *volumeCursor, error) {
 	id, err := cl.Submit(ctx, req)
 	if err != nil {
 		var ae *service.APIError
@@ -360,12 +407,14 @@ func (c *Coordinator) runVolumeOn(ctx context.Context, cl *service.Client,
 	if st.State != string(service.JobDone) {
 		return nil, nil, &permanentError{fmt.Errorf("worker job %s: %s", st.State, st.Error)}
 	}
-	aligns, err := cl.Alignments(ctx, id)
-	if err != nil {
+	next, stop := iter.Pull2(cl.StreamAlignments(ctx, id))
+	cur := &volumeCursor{vi: vi, pull: next, stop: stop}
+	if err := cur.advance(rank); err != nil {
+		stop()
 		abandon()
 		return nil, nil, fmt.Errorf("fetch: %w", err)
 	}
-	return st, aligns, nil
+	return st, cur, nil
 }
 
 // normalizeIDs fills empty sequence ids with the same positional

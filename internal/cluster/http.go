@@ -95,6 +95,7 @@ func NewServer(coord *Coordinator, cfg ServerConfig) *Server {
 //	GET    /v1/jobs/{id}            poll one job's status
 //	DELETE /v1/jobs/{id}            cancel a job (propagates to workers)
 //	GET    /v1/jobs/{id}/alignments fetch a finished job's merged alignments
+//	                                (?stream=1: chunked NDJSON, as on workers)
 //	GET    /cluster/metrics         per-worker latency/retry and volume-skew stats
 //	GET    /healthz                 liveness probe
 func NewHandler(s *Server) http.Handler {
@@ -270,7 +271,25 @@ func (s *Server) alignments(w http.ResponseWriter, r *http.Request) {
 		service.WriteError(w, http.StatusConflict, "job is %s; poll until done", state)
 		return
 	}
-	service.WriteJSON(w, http.StatusOK, rep.Alignments)
+	if r.URL.Query().Get("stream") == "1" {
+		// Same NDJSON dialect as the workers, so Client.StreamAlignments
+		// cannot tell a coordinator from a worker.
+		service.WriteNDJSON(w, func(yield func(service.AlignmentJSON) bool) {
+			for _, a := range rep.Alignments {
+				if !yield(a) {
+					return
+				}
+			}
+		})
+		return
+	}
+	aligns := rep.Alignments
+	if aligns == nil {
+		// A zero-match merge is nil internally; the wire contract is an
+		// empty array, exactly as the worker daemon answers.
+		aligns = []service.AlignmentJSON{}
+	}
+	service.WriteJSON(w, http.StatusOK, aligns)
 }
 
 // metrics renders the coordinator counters in the Prometheus text

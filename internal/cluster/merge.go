@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"sort"
 
 	"seedblast/internal/gapped"
@@ -45,16 +46,35 @@ type rankedAlignment struct {
 	q, s int
 }
 
-// mergeWireAlignments is MergeAlignments for results gathered over
-// HTTP: per-volume AlignmentJSON lists whose Query/Subject fields are
-// the ids the coordinator submitted. queryIdx maps a query id to its
-// bank position; vols[i] gives volume i's global subject numbers, and
-// subjIdxInVol maps a subject id to its position within its volume's
-// submission order (ids are resolved per volume, so duplicate subject
-// ids across volumes cannot collide).
+// rankLess orders wire alignments under the engine's global
+// (Seq0, EValue, Seq1) ranking. Equal full keys can only come from the
+// same (query, subject) pair, hence the same volume; the volume number
+// completes a total order for determinism.
+func rankLess(a, b *rankedAlignment, va, vb int) bool {
+	if a.q != b.q {
+		return a.q < b.q
+	}
+	if a.a.EValue != b.a.EValue {
+		return a.a.EValue < b.a.EValue
+	}
+	if a.s != b.s {
+		return a.s < b.s
+	}
+	return va < vb
+}
+
+// mergeWireAlignments is MergeAlignments for fully-buffered results
+// gathered over HTTP (see mergeAlignmentStreams for the streaming
+// k-way merge the coordinator uses; this buffered form is the
+// reference it is equivalence-tested against). queryIdx maps a query
+// id to its bank position; vols[i] gives volume i's global subject
+// numbers, and subjIdxInVol maps a subject id to its position within
+// its volume's submission order (ids are resolved per volume, so
+// duplicate subject ids across volumes cannot collide).
 func mergeWireAlignments(vols []Volume, perVol [][]service.AlignmentJSON,
 	queryIdx map[string]int, subjIdxInVol []map[string]int) []service.AlignmentJSON {
 	var ranked []rankedAlignment
+	var volOf []int
 	for vi, as := range perVol {
 		for _, a := range as {
 			ranked = append(ranked, rankedAlignment{
@@ -62,21 +82,119 @@ func mergeWireAlignments(vols []Volume, perVol [][]service.AlignmentJSON,
 				q: queryIdx[a.Query],
 				s: vols[vi].Seqs[subjIdxInVol[vi][a.Subject]],
 			})
+			volOf = append(volOf, vi)
 		}
 	}
-	sort.SliceStable(ranked, func(i, j int) bool {
-		a, b := &ranked[i], &ranked[j]
-		if a.q != b.q {
-			return a.q < b.q
-		}
-		if a.a.EValue != b.a.EValue {
-			return a.a.EValue < b.a.EValue
-		}
-		return a.s < b.s
+	order := make([]int, len(ranked))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return rankLess(&ranked[order[i]], &ranked[order[j]], volOf[order[i]], volOf[order[j]])
 	})
 	out := make([]service.AlignmentJSON, len(ranked))
-	for i := range ranked {
-		out[i] = ranked[i].a
+	for i, oi := range order {
+		out[i] = ranked[oi].a
 	}
 	return out
+}
+
+// volumeCursor is one volume's position in the k-way merge: a pull
+// over its (already globally-ranked) wire stream plus the current
+// head. The coordinator primes each cursor (advances it once) the
+// moment its volume job completes, which starts the worker writing the
+// response and so freezes the result against job-store eviction while
+// the remaining volumes finish.
+type volumeCursor struct {
+	vi     int
+	pull   func() (service.AlignmentJSON, error, bool)
+	stop   func()
+	cur    rankedAlignment
+	primed bool // cur holds an unconsumed head
+	done   bool // stream exhausted
+	count  int  // alignments consumed from this volume
+}
+
+// advance loads the next stream element into cur, setting primed, or
+// done on exhaustion.
+func (c *volumeCursor) advance(rank func(vi int, a service.AlignmentJSON) rankedAlignment) error {
+	a, err, ok := c.pull()
+	if !ok {
+		c.primed, c.done = false, true
+		return nil
+	}
+	if err != nil {
+		c.primed, c.done = false, true
+		return err
+	}
+	c.cur = rank(c.vi, a)
+	c.primed = true
+	c.count++
+	return nil
+}
+
+// mergeAlignmentStreams k-way merges per-volume wire streams into the
+// globally ranked result without buffering any volume's input whole.
+// Each stream must already be ordered under the global ranking — which
+// per-volume results are: a worker sorts by (Seq0, EValue, local
+// Seq1), query numbering is shared, and a volume's local→global
+// subject remap is monotonic (Volume.Seqs ascend). Equal full keys
+// only occur within one volume (one (query, subject) pair lives in
+// exactly one volume) and FIFO pops preserve their stream order, so
+// the merge is bit-identical to buffering everything and sorting —
+// pinned against mergeWireAlignments by tests.
+func mergeAlignmentStreams(curs []*volumeCursor,
+	rank func(vi int, a service.AlignmentJSON) rankedAlignment) ([]service.AlignmentJSON, error) {
+	// Seed the heap with each stream's head (cursors may arrive primed).
+	h := make([]*volumeCursor, 0, len(curs))
+	for _, c := range curs {
+		if !c.primed && !c.done {
+			if err := c.advance(rank); err != nil {
+				return nil, fmt.Errorf("volume %d: %w", c.vi, err)
+			}
+		}
+		if c.primed {
+			h = append(h, c)
+		}
+	}
+	less := func(a, b *volumeCursor) bool { return rankLess(&a.cur, &b.cur, a.vi, b.vi) }
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i, less)
+	}
+
+	var out []service.AlignmentJSON
+	for len(h) > 0 {
+		top := h[0]
+		out = append(out, top.cur.a)
+		if err := top.advance(rank); err != nil {
+			return nil, fmt.Errorf("volume %d: %w", top.vi, err)
+		}
+		if top.done {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		if len(h) > 0 {
+			siftDown(h, 0, less)
+		}
+	}
+	return out, nil
+}
+
+// siftDown restores the min-heap property at i.
+func siftDown[T any](h []T, i int, less func(a, b T) bool) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && less(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && less(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }

@@ -228,21 +228,12 @@ func (st StepTimes) Fractions() [3]float64 {
 	}
 }
 
-// Result is the outcome of a bank-vs-bank comparison.
+// Result is the outcome of a bank-vs-bank comparison: the materialized
+// alignments plus the search Summary (work counters, timings, device
+// reports, engine accounting), whose fields are promoted.
 type Result struct {
 	Alignments []gapped.Alignment
-	Hits       int   // step-2 survivors
-	Pairs      int64 // step-2 scorings performed
-	Times      StepTimes
-	Device     *hwsim.Step2Report // non-nil when shards ran on the accelerator
-	GapDevice  *hwsim.GapOpReport // non-nil when RASC.OffloadGapped
-	GappedWork gapped.Stats
-	Stats0     index.Stats
-	Stats1     index.Stats
-	// Pipeline reports the streaming engine's per-stage accounting:
-	// shard counts, per-stage busy times, wall time and (for
-	// EngineMulti) the dispatch split across backends.
-	Pipeline pipeline.Metrics
+	Summary
 }
 
 // Compare runs the full three-step pipeline on two protein banks
@@ -251,6 +242,10 @@ type Result struct {
 // CompareBatch; with sharding enabled the alignment set is identical
 // up to order normalisation (the engine sorts stably by
 // (Seq0, EValue, Seq1)).
+//
+// Compare is the v1 entry point, kept as a thin adapter over the v2
+// Searcher API (equivalence-tested bit-identical, ordering included);
+// new callers should construct a Searcher and stream.
 func Compare(b0, b1 *bank.Bank, opt Options) (*Result, error) {
 	return CompareContext(context.Background(), b0, b1, opt)
 }
@@ -258,65 +253,15 @@ func Compare(b0, b1 *bank.Bank, opt Options) (*Result, error) {
 // CompareContext is Compare with cancellation: when ctx is cancelled
 // the engine shuts every stage down promptly and returns ctx's error.
 func CompareContext(ctx context.Context, b0, b1 *bank.Bank, opt Options) (*Result, error) {
-	if opt.Seed == nil || opt.Matrix == nil {
-		return nil, fmt.Errorf("core: Seed and Matrix are required (use DefaultOptions)")
-	}
-	if opt.N < 0 {
-		return nil, fmt.Errorf("core: negative neighbourhood %d", opt.N)
-	}
-	backend, err := backendFor(&opt)
+	s, err := SearcherFromOptions(opt)
 	if err != nil {
 		return nil, err
 	}
-	gcfg := opt.gappedConfig()
-	eng, err := pipeline.New(opt.Pipeline, backend)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	tgt := NewProteinTarget(b1)
+	if err := adoptSubjectIndex(&opt, tgt, tgt.Adopt); err != nil {
+		return nil, err
 	}
-	out, err := eng.Run(ctx, &pipeline.Request{
-		Bank0:   b0,
-		Bank1:   b1,
-		Seed:    opt.Seed,
-		N:       opt.N,
-		Workers: opt.Workers,
-		Gapped:  gcfg,
-		Index1:  opt.SubjectIndex,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-
-	res := &Result{
-		Alignments: out.Alignments,
-		Hits:       out.Hits,
-		Pairs:      out.Pairs,
-		Device:     out.Device,
-		GappedWork: out.GappedWork,
-		Stats0:     out.Stats0,
-		Stats1:     out.Stats1,
-		Pipeline:   out.Metrics,
-	}
-	res.Times.Index = out.IndexTime
-	res.Times.Ungapped = out.Step2Time
-	res.Times.Gapped = out.Step3Time
-	if opt.Engine == EngineRASC && out.Device != nil {
-		// Preserve the batch invariant: the step-2 time is derived from
-		// the (aggregated) device report's simulated seconds.
-		res.Times.Ungapped = time.Duration(out.Device.Seconds * float64(time.Second))
-	}
-	if opt.Engine == EngineRASC && opt.RASC.OffloadGapped {
-		gop := hwsim.DefaultGapOp(gcfg.Band)
-		if opt.RASC.ClockHz != 0 {
-			gop.ClockHz = opt.RASC.ClockHz
-		}
-		rep, err := gop.EstimateStep3(out.GappedWork)
-		if err != nil {
-			return nil, fmt.Errorf("core: step 3 (gap operator): %w", err)
-		}
-		res.GapDevice = rep
-		res.Times.Gapped = time.Duration(rep.Seconds * float64(time.Second))
-	}
-	return res, nil
+	return collectResult(s.Search(ctx, NewProteinTarget(b0), tgt))
 }
 
 // backendFor builds the step-2 backend for the selected engine.
@@ -376,7 +321,7 @@ func CompareBatch(b0, b1 *bank.Bank, opt Options) (*Result, error) {
 		// and streaming paths never diverge on which indexes they take.
 		return nil, fmt.Errorf("core: provided subject index %w", err)
 	}
-	res := &Result{Stats0: ix0.Stats(), Stats1: ix1.Stats()}
+	res := &Result{Summary: Summary{Stats0: ix0.Stats(), Stats1: ix1.Stats()}}
 	res.Times.Index = time.Since(t0)
 
 	// Step 2: ungapped extension on the selected engine.
@@ -510,32 +455,28 @@ func frameBank(frames [6]translate.FrameTranslation) *bank.Bank {
 	return fbank
 }
 
-// CompareGenomeContext is CompareGenome with cancellation.
+// CompareGenomeContext is CompareGenome with cancellation. Like
+// Compare, it is a thin adapter over the v2 Searcher API: the genome
+// becomes a GenomeTarget (which owns the six-frame translation and the
+// coordinate mapping) and the collected matches are reshaped into the
+// v1 result.
 func CompareGenomeContext(ctx context.Context, proteins *bank.Bank, genome []byte, opt Options) (*GenomeResult, error) {
-	frames := opt.code().SixFrames(genome)
-	fbank := frameBank(frames)
-	res, err := CompareContext(ctx, proteins, fbank, opt)
+	s, err := SearcherFromOptions(opt)
 	if err != nil {
 		return nil, err
 	}
-	out := &GenomeResult{Result: *res, GenomeLen: len(genome)}
-	for _, a := range res.Alignments {
-		frame := frames[a.Seq1].Frame
-		m := GenomeMatch{
-			Alignment: a,
-			Protein:   a.Seq0,
-			Frame:     frame,
-		}
-		// The subject span [S.Start, S.End) in frame coordinates covers
-		// codons; map both ends and order them on the forward strand.
-		first := translate.CodonStart(frame, a.S.Start, len(genome))
-		last := translate.CodonStart(frame, a.S.End-1, len(genome))
-		if frame > 0 {
-			m.NucStart, m.NucEnd = first, last+3
-		} else {
-			m.NucStart, m.NucEnd = last, first+3
-		}
-		out.Matches = append(out.Matches, m)
+	tgt := NewGenomeTarget(genome, opt.GeneticCode)
+	if err := adoptSubjectIndex(&opt, tgt, tgt.Adopt); err != nil {
+		return nil, err
 	}
-	return out, nil
+	res := s.Search(ctx, NewProteinTarget(proteins), tgt)
+	ms, err := res.Collect()
+	if err != nil {
+		return nil, err
+	}
+	sum, err := res.Summary()
+	if err != nil {
+		return nil, err
+	}
+	return GenomeResultFrom(ms, sum, len(genome)), nil
 }

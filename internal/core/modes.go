@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"seedblast/internal/bank"
@@ -11,7 +12,10 @@ import (
 // The paper's conclusion notes the PSC operator "can be directly
 // reused for implementing blastp, blastx, and tblastx": every BLAST
 // family program reduces to the same protein bank-vs-bank comparison
-// after the appropriate translations. This file provides those modes.
+// after the appropriate translations. This file provides the v1 mode
+// entry points as thin adapters over the v2 Searcher API — in v2 the
+// translations live in the targets themselves (DNATarget,
+// GenomeTarget) and one Search call covers every mode.
 //
 //	blastp  — protein bank vs protein bank: Compare itself.
 //	tblastn — protein bank vs translated genome: CompareGenome.
@@ -43,40 +47,30 @@ func CompareDNAQueries(queries [][]byte, proteins *bank.Bank, opt Options) (*DNA
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("core: no DNA queries")
 	}
-	qbank := bank.New("dna-query-frames")
-	type frameRef struct {
-		query int
-		frame translate.Frame
-		qLen  int
-	}
-	var refs []frameRef
-	for qi, dna := range queries {
-		for _, ft := range opt.code().SixFrames(dna) {
-			qbank.Add(fmt.Sprintf("q%d%s", qi, ft.Frame), ft.Protein)
-			refs = append(refs, frameRef{query: qi, frame: ft.Frame, qLen: len(dna)})
-		}
-	}
-	res, err := Compare(qbank, proteins, opt)
+	s, err := SearcherFromOptions(opt)
 	if err != nil {
 		return nil, err
 	}
-	out := &DNAQueryResult{Result: *res}
-	for _, a := range res.Alignments {
-		ref := refs[a.Seq0]
-		m := DNAQueryMatch{
-			Alignment: a,
-			Query:     ref.query,
-			Frame:     ref.frame,
-			Subject:   a.Seq1,
-		}
-		first := translate.CodonStart(ref.frame, a.Q.Start, ref.qLen)
-		last := translate.CodonStart(ref.frame, a.Q.End-1, ref.qLen)
-		if ref.frame > 0 {
-			m.NucStart, m.NucEnd = first, last+3
-		} else {
-			m.NucStart, m.NucEnd = last, first+3
-		}
-		out.Matches = append(out.Matches, m)
+	res := s.Search(context.Background(), NewDNATarget(queries, opt.GeneticCode), NewProteinTarget(proteins))
+	ms, err := res.Collect()
+	if err != nil {
+		return nil, err
+	}
+	sum, err := res.Summary()
+	if err != nil {
+		return nil, err
+	}
+	out := &DNAQueryResult{Result: *ResultFrom(ms, sum)}
+	for i := range ms {
+		m := &ms[i]
+		out.Matches = append(out.Matches, DNAQueryMatch{
+			Alignment: m.Alignment,
+			Query:     m.Query.Seq,
+			Frame:     m.Query.Frame,
+			NucStart:  m.Query.NucStart,
+			NucEnd:    m.Query.NucEnd,
+			Subject:   m.Alignment.Seq1,
+		})
 	}
 	return out, nil
 }
@@ -104,30 +98,32 @@ type GenomePairResult struct {
 // BLAST mode (36 frame pairs), which is exactly why the paper's
 // bank-vs-bank restructuring applies to it unchanged.
 func CompareGenomes(genome0, genome1 []byte, opt Options) (*GenomePairResult, error) {
-	f0 := opt.code().SixFrames(genome0)
-	f1 := opt.code().SixFrames(genome1)
-	b0 := bank.New("genome0-frames")
-	b1 := bank.New("genome1-frames")
-	for _, ft := range f0 {
-		b0.Add(ft.Frame.String(), ft.Protein)
-	}
-	for _, ft := range f1 {
-		b1.Add(ft.Frame.String(), ft.Protein)
-	}
-	res, err := Compare(b0, b1, opt)
+	s, err := SearcherFromOptions(opt)
 	if err != nil {
 		return nil, err
 	}
-	out := &GenomePairResult{Result: *res}
-	for _, a := range res.Alignments {
-		m := GenomePairMatch{
-			Alignment: a,
-			Frame0:    f0[a.Seq0].Frame,
-			Frame1:    f1[a.Seq1].Frame,
-		}
-		m.NucStart0, m.NucEnd0 = frameSpanToNuc(m.Frame0, a.Q.Start, a.Q.End, len(genome0))
-		m.NucStart1, m.NucEnd1 = frameSpanToNuc(m.Frame1, a.S.Start, a.S.End, len(genome1))
-		out.Matches = append(out.Matches, m)
+	res := s.Search(context.Background(),
+		NewGenomeTarget(genome0, opt.GeneticCode), NewGenomeTarget(genome1, opt.GeneticCode))
+	ms, err := res.Collect()
+	if err != nil {
+		return nil, err
+	}
+	sum, err := res.Summary()
+	if err != nil {
+		return nil, err
+	}
+	out := &GenomePairResult{Result: *ResultFrom(ms, sum)}
+	for i := range ms {
+		m := &ms[i]
+		out.Matches = append(out.Matches, GenomePairMatch{
+			Alignment: m.Alignment,
+			Frame0:    m.Query.Frame,
+			NucStart0: m.Query.NucStart,
+			NucEnd0:   m.Query.NucEnd,
+			Frame1:    m.Subject.Frame,
+			NucStart1: m.Subject.NucStart,
+			NucEnd1:   m.Subject.NucEnd,
+		})
 	}
 	return out, nil
 }

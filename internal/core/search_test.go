@@ -1,0 +1,427 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/pipeline"
+)
+
+// searchWorkload is the shared v2-vs-v1 equivalence workload.
+func searchWorkload(t testing.TB) (*bank.Bank, []byte) {
+	t.Helper()
+	proteins := bank.GenerateProteins(bank.ProteinConfig{
+		N: 12, MeanLen: 120, LenJitter: 20, Seed: 51,
+	})
+	genome, _, err := bank.GenerateGenome(bank.GenomeConfig{
+		Length: 50_000, Source: proteins, PlantCount: 6, PlantSubRate: 0.15, Seed: 52,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proteins, genome
+}
+
+// TestSearchEquivalentToCompare is the v2 acceptance gate: for CPU and
+// simulated-RASC engines, single-shard and sharded, the streaming
+// Search must reproduce the legacy Compare / CompareGenome results
+// bit-identically — matches AND order — plus the summary counters.
+func TestSearchEquivalentToCompare(t *testing.T) {
+	proteins, genome := searchWorkload(t)
+
+	for _, eng := range []Engine{EngineCPU, EngineRASC} {
+		for _, ss := range []int{0, 3, 5} {
+			name := fmt.Sprintf("%s/shard=%d", eng, ss)
+			opt := DefaultOptions()
+			opt.Engine = eng
+			opt.Pipeline = pipeline.Config{ShardSize: ss, InFlight: 2, Step2Workers: 2, Step3Workers: 2}
+
+			// tblastn: legacy CompareGenome vs Search over a GenomeTarget.
+			want, err := CompareGenome(proteins, genome, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want.Matches) == 0 {
+				t.Fatalf("%s: degenerate reference", name)
+			}
+
+			s, err := SearcherFromOptions(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := s.Search(context.Background(), NewProteinTarget(proteins), NewGenomeTarget(genome, nil))
+
+			// Stream element by element against the legacy result so an
+			// ordering bug cannot hide behind a set comparison.
+			i := 0
+			for m, err := range res.Matches() {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i >= len(want.Matches) {
+					t.Fatalf("%s: stream yielded more than %d matches", name, len(want.Matches))
+				}
+				ref := &want.Matches[i]
+				if !reflect.DeepEqual(m.Alignment, ref.Alignment) {
+					t.Fatalf("%s: match %d alignment differs:\n got %+v\nwant %+v", name, i, m.Alignment, ref.Alignment)
+				}
+				if m.Subject.Frame != ref.Frame || m.Subject.NucStart != ref.NucStart ||
+					m.Subject.NucEnd != ref.NucEnd || m.Query.Seq != ref.Protein {
+					t.Fatalf("%s: match %d locus differs:\n got %+v\nwant %+v", name, i, m, ref)
+				}
+				i++
+			}
+			if i != len(want.Matches) {
+				t.Fatalf("%s: stream yielded %d matches, want %d", name, i, len(want.Matches))
+			}
+			sum, err := res.Summary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum.Hits != want.Hits || sum.Pairs != want.Pairs ||
+				sum.GappedWork != want.GappedWork ||
+				sum.Stats0 != want.Stats0 || sum.Stats1 != want.Stats1 {
+				t.Errorf("%s: summary diverges from legacy result", name)
+			}
+			if eng == EngineRASC {
+				if sum.Device == nil || want.Device == nil {
+					t.Fatalf("%s: missing device report", name)
+				}
+				if sum.Device.Seconds != want.Device.Seconds || sum.Times.Ungapped != want.Times.Ungapped {
+					t.Errorf("%s: device timing semantics diverge", name)
+				}
+			}
+
+			// blastp: legacy Compare vs Search over two ProteinTargets.
+			fb := NewGenomeTarget(genome, nil).Bank()
+			wantP, err := Compare(proteins, fb, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resP := s.Search(context.Background(), NewProteinTarget(proteins), NewProteinTarget(fb))
+			msP, err := resP.Collect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(alignmentsOf(msP), wantP.Alignments) {
+				t.Errorf("%s: protein-target search diverges from Compare", name)
+			}
+		}
+	}
+}
+
+// TestSearchModesEquivalent pins the blastx / tblastx target shapes
+// against their legacy mode adapters.
+func TestSearchModesEquivalent(t *testing.T) {
+	proteins, genome := searchWorkload(t)
+	opt := DefaultOptions()
+
+	// blastx: DNA queries (the genome, twice, so query numbering > 0 is
+	// exercised) against the protein bank.
+	queries := [][]byte{genome[:20_000], genome[20_000:]}
+	want, err := CompareDNAQueries(queries, proteins, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Matches) == 0 {
+		t.Fatal("degenerate blastx reference")
+	}
+	s, err := SearcherFromOptions(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := s.Search(context.Background(), NewDNATarget(queries, nil), NewProteinTarget(proteins)).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(want.Matches) {
+		t.Fatalf("blastx: %d matches, want %d", len(ms), len(want.Matches))
+	}
+	for i := range ms {
+		m, ref := &ms[i], &want.Matches[i]
+		if !reflect.DeepEqual(m.Alignment, ref.Alignment) ||
+			m.Query.Seq != ref.Query || m.Query.Frame != ref.Frame ||
+			m.Query.NucStart != ref.NucStart || m.Query.NucEnd != ref.NucEnd {
+			t.Fatalf("blastx match %d differs:\n got %+v\nwant %+v", i, m, ref)
+		}
+	}
+
+	// tblastx: genome vs itself.
+	wantG, err := CompareGenomes(genome, genome, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantG.Matches) == 0 {
+		t.Fatal("degenerate tblastx reference")
+	}
+	msG, err := s.Search(context.Background(), NewGenomeTarget(genome, nil), NewGenomeTarget(genome, nil)).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msG) != len(wantG.Matches) {
+		t.Fatalf("tblastx: %d matches, want %d", len(msG), len(wantG.Matches))
+	}
+	for i := range msG {
+		m, ref := &msG[i], &wantG.Matches[i]
+		if !reflect.DeepEqual(m.Alignment, ref.Alignment) ||
+			m.Query.Frame != ref.Frame0 || m.Query.NucStart != ref.NucStart0 || m.Query.NucEnd != ref.NucEnd0 ||
+			m.Subject.Frame != ref.Frame1 || m.Subject.NucStart != ref.NucStart1 || m.Subject.NucEnd != ref.NucEnd1 {
+			t.Fatalf("tblastx match %d differs:\n got %+v\nwant %+v", i, m, ref)
+		}
+	}
+}
+
+// TestTargetIndexReuse pins the reusable-index contract: the second
+// search against a target spends no time building the subject index,
+// and its results are bit-identical.
+func TestTargetIndexReuse(t *testing.T) {
+	proteins, genome := searchWorkload(t)
+	s, err := SearcherFromOptions(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewGenomeTarget(genome, nil)
+	if tgt.cached(s.opt.Seed, s.opt.N) != nil {
+		t.Fatal("index built before any search")
+	}
+
+	first, err := s.Search(context.Background(), NewProteinTarget(proteins), tgt).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := tgt.cached(s.opt.Seed, s.opt.N)
+	if ix == nil {
+		t.Fatal("first search did not cache the target index")
+	}
+
+	res2 := s.Search(context.Background(), NewProteinTarget(proteins), tgt)
+	second, err := res2.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.cached(s.opt.Seed, s.opt.N) != ix {
+		t.Error("second search rebuilt the target index")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("index reuse changed results")
+	}
+	// The engine's step-1 accounting must show only the query-shard
+	// build (the subject index arrived prebuilt).
+	sum, err := res2.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Stats1.Entries == 0 {
+		t.Error("reused index lost its statistics")
+	}
+}
+
+// TestSearchEarlyBreak pins stream abandonment: breaking out of the
+// iteration cancels the engine promptly, leaks nothing (the race
+// detector and goroutine-chain shutdown cover the rest), and Summary
+// reports the stream as abandoned.
+func TestSearchEarlyBreak(t *testing.T) {
+	proteins, genome := searchWorkload(t)
+	opt := DefaultOptions()
+	opt.Pipeline = pipeline.Config{ShardSize: 2, InFlight: 2, Step2Workers: 2, Step3Workers: 2}
+	s, err := SearcherFromOptions(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Search(context.Background(), NewProteinTarget(proteins), NewGenomeTarget(genome, nil))
+	for _, err := range res.Matches() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if _, err := res.Summary(); err == nil {
+		t.Error("Summary succeeded on an abandoned stream")
+	}
+	// The stream is single-use.
+	for _, err := range res.Matches() {
+		if err == nil {
+			t.Error("second iteration of a consumed stream yielded data")
+		}
+	}
+}
+
+// TestSearcherOptionErrors pins option validation.
+func TestSearcherOptionErrors(t *testing.T) {
+	cases := []Option{
+		WithSeed(nil),
+		WithMatrix(nil),
+		WithNeighborhood(-1),
+		WithMaxEValue(0),
+	}
+	for i, o := range cases {
+		if _, err := NewSearcher(o); err == nil {
+			t.Errorf("option case %d accepted", i)
+		}
+	}
+	if _, err := NewSearcher(); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+	// Search with a nil side fails through the stream, not a panic.
+	s, err := NewSearcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Search(context.Background(), nil, nil).Collect(); err == nil {
+		t.Error("nil targets accepted")
+	}
+}
+
+// TestSearchCancellation pins ctx cancellation through the v2 path.
+func TestSearchCancellation(t *testing.T) {
+	proteins, genome := searchWorkload(t)
+	s, err := SearcherFromOptions(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Search(ctx, NewProteinTarget(proteins), NewGenomeTarget(genome, nil)).Collect(); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+}
+
+// benchSearch builds a sharded searcher and workload big enough that
+// the peak-buffer difference between streaming and collecting is
+// visible.
+func benchSearch(b *testing.B) (*Searcher, *ProteinTarget, *GenomeTarget) {
+	b.Helper()
+	proteins := bank.GenerateProteins(bank.ProteinConfig{
+		N: 48, MeanLen: 150, LenJitter: 30, Seed: 61,
+	})
+	genome, _, err := bank.GenerateGenome(bank.GenomeConfig{
+		Length: 120_000, Source: proteins, PlantCount: 24, PlantSubRate: 0.1, Seed: 62,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Pipeline = pipeline.Config{ShardSize: 4, InFlight: 2, Step2Workers: 2, Step3Workers: 2}
+	s, err := SearcherFromOptions(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, NewProteinTarget(proteins), NewGenomeTarget(genome, nil)
+}
+
+// BenchmarkSearchStream measures the streaming result path on a
+// multi-shard run; peak-matches is the engine's peak resident match
+// buffer — compare with BenchmarkSearchCollect, where it equals the
+// whole result.
+func BenchmarkSearchStream(b *testing.B) {
+	s, q, tgt := benchSearch(b)
+	var peak, total int
+	for b.Loop() {
+		res := s.Search(context.Background(), q, tgt)
+		total = 0
+		for m, err := range res.Matches() {
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = m
+			total++
+		}
+		sum, err := res.Summary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = sum.Pipeline.MaxBufferedMatches
+	}
+	b.ReportMetric(float64(peak), "peak-matches")
+	b.ReportMetric(float64(total), "total-matches")
+}
+
+// materializedRequest rebuilds the engine request a v1 materialized
+// run would issue for the benchmark workload, so the same engine can
+// be driven through Run (full slice resident) as the reference.
+func materializedRequest(tb testing.TB, s *Searcher, q *ProteinTarget, tgt *GenomeTarget) *pipeline.Request {
+	tb.Helper()
+	ix1, err := tgt.index(s.opt.Seed, s.opt.N, s.opt.Workers)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &pipeline.Request{
+		Bank0:   q.Bank(),
+		Bank1:   tgt.Bank(),
+		Seed:    s.opt.Seed,
+		N:       s.opt.N,
+		Workers: s.opt.Workers,
+		Gapped:  s.gcfg,
+		Index1:  ix1,
+	}
+}
+
+// BenchmarkSearchMaterialized is the v1-style materialized-slice path
+// over the same workload and engine: every shard's alignments stay
+// resident until assembly, so peak-matches equals the full result.
+func BenchmarkSearchMaterialized(b *testing.B) {
+	s, q, tgt := benchSearch(b)
+	req := materializedRequest(b, s, q, tgt)
+	var peak, total int
+	for b.Loop() {
+		out, err := s.eng.Run(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = out.Metrics.MaxBufferedMatches
+		total = len(out.Alignments)
+	}
+	b.ReportMetric(float64(peak), "peak-matches")
+	b.ReportMetric(float64(total), "total-matches")
+}
+
+// TestStreamPeakBelowMaterialized is the asserted form of the two
+// benchmarks: on a multi-shard run the v2 streaming path's peak
+// resident match buffer must be strictly below the materialized
+// path's, whose peak is the whole result.
+func TestStreamPeakBelowMaterialized(t *testing.T) {
+	proteins, genome := searchWorkload(t)
+	opt := DefaultOptions()
+	opt.Pipeline = pipeline.Config{ShardSize: 2, InFlight: 2, Step2Workers: 2, Step3Workers: 1}
+	s, err := SearcherFromOptions(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewGenomeTarget(genome, nil)
+	q := NewProteinTarget(proteins)
+
+	out, err := s.eng.Run(context.Background(), materializedRequest(t, s, q, tgt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Alignments) < 4 {
+		t.Skipf("workload too small to compare peaks (%d matches)", len(out.Alignments))
+	}
+	if out.Metrics.MaxBufferedMatches != len(out.Alignments) {
+		t.Fatalf("materialized peak %d, want the whole result %d",
+			out.Metrics.MaxBufferedMatches, len(out.Alignments))
+	}
+
+	res := s.Search(context.Background(), q, tgt)
+	n := 0
+	for _, err := range res.Matches() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	sum, err := res.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(out.Alignments) {
+		t.Fatalf("stream yielded %d matches, materialized %d", n, len(out.Alignments))
+	}
+	if sum.Pipeline.MaxBufferedMatches >= out.Metrics.MaxBufferedMatches {
+		t.Errorf("streaming peak %d not below materialized peak %d",
+			sum.Pipeline.MaxBufferedMatches, out.Metrics.MaxBufferedMatches)
+	}
+}

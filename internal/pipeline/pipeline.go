@@ -134,6 +134,14 @@ type Metrics struct {
 	Step2           StageMetrics
 	Step3           StageMetrics
 	ShardsByBackend map[string]int // step-2 dispatch split (MultiBackend)
+	// MaxBufferedMatches is the peak number of alignments resident in
+	// the engine's shard buffers at any instant. On a materialized Run
+	// every shard's alignments stay buffered until assembly, so the peak
+	// equals the total output; on a RunStream run a shard's alignments
+	// are released to the consumer as soon as every earlier shard has
+	// been emitted, so the peak is only the out-of-order backlog — the
+	// memory the streaming result path exists to save.
+	MaxBufferedMatches int
 }
 
 // Merge folds another run's accounting into m: shard counts and busy
@@ -151,6 +159,8 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.Step2.Busy += o.Step2.Busy
 	m.Step3.Shards += o.Step3.Shards
 	m.Step3.Busy += o.Step3.Busy
+	// Peaks across runs are not additive; keep the worst single run.
+	m.MaxBufferedMatches = max(m.MaxBufferedMatches, o.MaxBufferedMatches)
 	for k, v := range o.ShardsByBackend {
 		if m.ShardsByBackend == nil {
 			m.ShardsByBackend = make(map[string]int)
@@ -161,9 +171,12 @@ func (m *Metrics) Merge(o *Metrics) {
 
 // Output is the engine's result.
 type Output struct {
-	Alignments []gapped.Alignment // sorted by (Seq0, EValue, Seq1), stably
-	Hits       int                // step-2 survivors
-	Pairs      int64              // step-2 scorings performed
+	// Alignments is the materialized result, sorted by
+	// (Seq0, EValue, Seq1) stably. Nil on a RunStream run, where the
+	// same alignments in the same order went to emit instead.
+	Alignments []gapped.Alignment
+	Hits       int   // step-2 survivors
+	Pairs      int64 // step-2 scorings performed
 	GappedWork gapped.Stats
 	Stats0     index.Stats // whole-bank statistics merged across shards
 	Stats1     index.Stats
@@ -226,6 +239,31 @@ func (e *Engine) Backend() Backend { return e.backend }
 // still account for the work done; early validation errors return a
 // nil Output.
 func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
+	return e.run(pctx, req, nil)
+}
+
+// RunStream is Run with streaming results: instead of materializing
+// Output.Alignments, the engine hands each shard's step-3 alignments to
+// emit as soon as the shard — and every shard before it — has finished
+// final ranking. Emission is strictly in shard order from a single
+// goroutine, so the concatenation of emitted batches is element-for-
+// element identical to Run's Output.Alignments: shards cover disjoint,
+// ascending bank-0 ranges and each batch arrives already sorted by
+// (Seq0, EValue, Seq1), which is exactly the engine's global order.
+// Ownership of each batch transfers to emit; the engine drops its
+// reference, so peak resident match memory is bounded by the
+// out-of-order backlog instead of the whole result (see
+// Metrics.MaxBufferedMatches). An emit error fails the run. The
+// returned Output has a nil Alignments slice; all counters, statistics
+// and timings are reported as in Run.
+func (e *Engine) RunStream(pctx context.Context, req *Request, emit func([]gapped.Alignment) error) (*Output, error) {
+	if emit == nil {
+		return nil, fmt.Errorf("pipeline: RunStream needs an emit function (use Run)")
+	}
+	return e.run(pctx, req, emit)
+}
+
+func (e *Engine) run(pctx context.Context, req *Request, emit func([]gapped.Alignment) error) (*Output, error) {
 	if req == nil || req.Bank0 == nil || req.Bank1 == nil {
 		return nil, fmt.Errorf("pipeline: request needs both banks")
 	}
@@ -373,6 +411,39 @@ func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
 		step3  time.Duration
 	}
 	outs := make([]shardOut, len(shards))
+
+	// Ordered emitter (streaming runs only): step-3 workers finish
+	// shards in any order; this goroutine releases each shard's
+	// alignments to the caller as soon as every earlier shard has been
+	// emitted, so the stream is in shard order — the engine's exact
+	// output order — while only the out-of-order backlog stays resident.
+	var buffered int // alignments currently resident in outs (under mu)
+	emitCh := make(chan int, len(shards))
+	emitDone := make(chan struct{})
+	go func() {
+		defer close(emitDone)
+		next := 0
+		ready := make(map[int]bool)
+		for id := range emitCh {
+			ready[id] = true
+			for ready[next] {
+				delete(ready, next)
+				so := &outs[next]
+				aligns := so.aligns
+				so.aligns = nil
+				mu.Lock()
+				buffered -= len(aligns)
+				mu.Unlock()
+				if ctx.Err() == nil {
+					if err := emit(aligns); err != nil {
+						fail(fmt.Errorf("pipeline: emitting shard %d: %w", next, err))
+					}
+				}
+				next++
+			}
+		}
+	}()
+
 	var wg3 sync.WaitGroup
 	for w := 0; w < e.cfg.Step3Workers; w++ {
 		wg3.Add(1)
@@ -392,6 +463,8 @@ func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
 				mu.Lock()
 				met.Step3.Shards++
 				met.Step3.Busy += d
+				buffered += len(as)
+				met.MaxBufferedMatches = max(met.MaxBufferedMatches, buffered)
 				mu.Unlock()
 				so := &outs[r.Shard.ID]
 				so.aligns, so.gstats = as, gs
@@ -401,12 +474,19 @@ func (e *Engine) Run(pctx context.Context, req *Request) (*Output, error) {
 				if req.KeepHits {
 					so.hits = r.Hits
 				}
+				if emit != nil {
+					// The stores above happen before this send, which the
+					// emitter receives before touching outs[id].
+					emitCh <- r.Shard.ID
+				}
 			}
 		}()
 	}
 	// All stage goroutines form a chain of channel closes, so waiting
 	// for stage 3 waits for everything.
 	wg3.Wait()
+	close(emitCh)
+	<-emitDone
 
 	if perr := pctx.Err(); perr != nil {
 		met.Wall = time.Since(start)

@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"seedblast/internal/gapped"
+)
+
+// TestRunStreamOrderIdentical pins the streaming contract: the
+// concatenation of emitted batches is element-for-element the
+// materialized Run output, for several shard sizes and worker counts.
+func TestRunStreamOrderIdentical(t *testing.T) {
+	b0, b1 := testBanks(t, 12)
+	req := testRequest(t, b0, b1)
+
+	for _, cfg := range []Config{
+		{},
+		{ShardSize: 1, InFlight: 3, Step2Workers: 2, Step3Workers: 2},
+		{ShardSize: 2, InFlight: 2, Step2Workers: 3, Step3Workers: 3},
+		{ShardSize: 5, InFlight: 1, Step2Workers: 1, Step3Workers: 1},
+	} {
+		ref := mustRun(t, cfg, testBackend(), req)
+		if len(ref.Alignments) == 0 {
+			t.Fatal("degenerate workload: no alignments")
+		}
+
+		eng, err := New(cfg, testBackend())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamed []gapped.Alignment
+		batches := 0
+		out, err := eng.RunStream(context.Background(), req, func(as []gapped.Alignment) error {
+			batches++
+			streamed = append(streamed, as...)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("shard=%d: %v", cfg.ShardSize, err)
+		}
+		if out.Alignments != nil {
+			t.Errorf("shard=%d: streaming run materialized %d alignments", cfg.ShardSize, len(out.Alignments))
+		}
+		if batches != out.Metrics.Shards {
+			t.Errorf("shard=%d: %d batches emitted, want one per shard (%d)",
+				cfg.ShardSize, batches, out.Metrics.Shards)
+		}
+		if !reflect.DeepEqual(streamed, ref.Alignments) {
+			t.Errorf("shard=%d: streamed alignments diverge from Run (got %d, want %d)",
+				cfg.ShardSize, len(streamed), len(ref.Alignments))
+		}
+		if out.Hits != ref.Hits || out.Pairs != ref.Pairs || out.GappedWork != ref.GappedWork {
+			t.Errorf("shard=%d: streaming counters diverge", cfg.ShardSize)
+		}
+	}
+}
+
+// TestRunStreamPeakBuffer pins the memory win the streaming path
+// exists for: on a multi-shard run the peak resident match buffer is
+// strictly below the materialized path's (which holds the entire
+// output at once).
+func TestRunStreamPeakBuffer(t *testing.T) {
+	b0, b1 := testBanks(t, 16)
+	req := testRequest(t, b0, b1)
+	cfg := Config{ShardSize: 2, InFlight: 2, Step2Workers: 2, Step3Workers: 1}
+
+	ref := mustRun(t, cfg, testBackend(), req)
+	if got, want := ref.Metrics.MaxBufferedMatches, len(ref.Alignments); got != want {
+		t.Fatalf("materialized peak buffer %d, want the whole output %d", got, want)
+	}
+
+	eng, err := New(cfg, testBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	out, err := eng.RunStream(context.Background(), req, func(as []gapped.Alignment) error {
+		total += len(as)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(ref.Alignments) {
+		t.Fatalf("streamed %d alignments, want %d", total, len(ref.Alignments))
+	}
+	if out.Metrics.MaxBufferedMatches >= ref.Metrics.MaxBufferedMatches {
+		t.Errorf("streaming peak buffer %d, want below materialized %d",
+			out.Metrics.MaxBufferedMatches, ref.Metrics.MaxBufferedMatches)
+	}
+}
+
+// TestRunStreamEmitError pins that a failing consumer sinks the run.
+func TestRunStreamEmitError(t *testing.T) {
+	b0, b1 := testBanks(t, 6)
+	req := testRequest(t, b0, b1)
+	eng, err := New(Config{ShardSize: 1}, testBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkErr := errors.New("consumer gone")
+	out, err := eng.RunStream(context.Background(), req, func([]gapped.Alignment) error {
+		return sinkErr
+	})
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("emit error not propagated: %v", err)
+	}
+	if out == nil {
+		t.Fatal("failed run returned no metrics")
+	}
+	if _, err := eng.RunStream(context.Background(), req, nil); err == nil {
+		t.Error("nil emit accepted")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"iter"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"time"
@@ -28,6 +30,7 @@ import (
 type Client struct {
 	base     string
 	httpc    *http.Client
+	streamc  *http.Client // httpc without the overall response timeout (streams are bounded by ctx)
 	attempts int
 	backoff  time.Duration
 }
@@ -56,9 +59,16 @@ func NewClient(baseURL string, cfg ClientConfig) *Client {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 50 * time.Millisecond
 	}
+	// Streaming fetches share the transport but drop the client-wide
+	// Timeout: http.Client.Timeout spans the whole body, which would
+	// kill a long NDJSON stream mid-read. Stream lifetimes are bounded
+	// by the caller's context instead.
+	streamc := *cfg.HTTPClient
+	streamc.Timeout = 0
 	return &Client{
 		base:     strings.TrimRight(baseURL, "/"),
 		httpc:    cfg.HTTPClient,
+		streamc:  &streamc,
 		attempts: cfg.Attempts,
 		backoff:  cfg.Backoff,
 	}
@@ -101,15 +111,34 @@ func (c *Client) Status(ctx context.Context, id string) (*JobStatusJSON, error) 
 	return &st, nil
 }
 
-// Wait polls the job every interval until it reaches a terminal state
-// (done or failed — inspect the returned status) or ctx is cancelled.
-// Interval <= 0 means 25 ms.
+// waitBackoffCap bounds how far Wait's poll interval grows: 16× the
+// base interval, but never beyond 5 s, so a long job is still noticed
+// within seconds of finishing.
+const (
+	waitBackoffFactor = 16
+	waitBackoffMax    = 5 * time.Second
+)
+
+// Wait polls the job until it reaches a terminal state (done or failed
+// — inspect the returned status) or ctx is cancelled. interval <= 0
+// means 25 ms.
+//
+// interval is the base poll cadence, not a fixed one: successive polls
+// back off exponentially from interval up to min(16×interval, 5s), and
+// every delay is jittered ±25%. A fixed cadence synchronizes thousands
+// of concurrent pollers against one daemon — every client that
+// submitted in the same burst polls in the same instant, forever; the
+// jittered backoff spreads them out while keeping the first polls (the
+// ones that catch short jobs) fast.
 func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*JobStatusJSON, error) {
 	if interval <= 0 {
 		interval = 25 * time.Millisecond
 	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	maxDelay := min(waitBackoffFactor*interval, waitBackoffMax)
+	if maxDelay < interval {
+		maxDelay = interval
+	}
+	delay := interval
 	for {
 		st, err := c.Status(ctx, id)
 		if err != nil {
@@ -118,21 +147,98 @@ func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*
 		if st.State == string(JobDone) || st.State == string(JobFailed) {
 			return st, nil
 		}
+		// ±25% jitter, then grow toward the cap.
+		jittered := delay/2 + time.Duration(rand.Int64N(int64(delay)))/2 + delay/4
 		select {
-		case <-t.C:
+		case <-time.After(jittered):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
+		delay = min(2*delay, maxDelay)
 	}
 }
 
-// Alignments fetches a finished job's alignments.
+// Alignments fetches a finished job's alignments as one decoded slice.
 func (c *Client) Alignments(ctx context.Context, id string) ([]AlignmentJSON, error) {
 	var out []AlignmentJSON
 	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/alignments", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// StreamAlignments fetches a finished job's alignments as a stream:
+// records are yielded as they are decoded off the wire (the server's
+// ?stream=1 chunked NDJSON fetch path), so the full result is never
+// resident on the client. A failure is yielded as the final element's
+// non-nil error. Opening the stream retries transient errors like any
+// idempotent call; a mid-stream failure is terminal (callers needing
+// at-most-once semantics can reopen — the fetch is idempotent). A
+// server that answers with a plain JSON array (no streaming support)
+// is decoded incrementally all the same.
+func (c *Client) StreamAlignments(ctx context.Context, id string) iter.Seq2[AlignmentJSON, error] {
+	return func(yield func(AlignmentJSON, error) bool) {
+		resp, err := c.get(ctx, "/v1/jobs/"+id+"/alignments?stream=1")
+		if err != nil {
+			yield(AlignmentJSON{}, err)
+			return
+		}
+		defer resp.Body.Close()
+		dec := json.NewDecoder(resp.Body)
+		array := strings.Contains(resp.Header.Get("Content-Type"), "application/json")
+		if array {
+			// Array fallback: consume the opening bracket, then decode
+			// elements one by one — still incremental.
+			if _, err := dec.Token(); err != nil {
+				yield(AlignmentJSON{}, fmt.Errorf("service: decoding alignments: %w", err))
+				return
+			}
+		}
+		for {
+			if array && !dec.More() {
+				return
+			}
+			var aj AlignmentJSON
+			if err := dec.Decode(&aj); err != nil {
+				if !array && err == io.EOF {
+					return
+				}
+				if ctx.Err() != nil {
+					err = ctx.Err()
+				}
+				yield(AlignmentJSON{}, fmt.Errorf("service: decoding alignments: %w", err))
+				return
+			}
+			if !yield(aj, nil) {
+				return
+			}
+		}
+	}
+}
+
+// get issues one idempotent GET with the client's retry policy and
+// returns the raw 2xx response for streaming consumption (no
+// body-spanning timeout); failures classify exactly as in do.
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	backoff := c.backoff
+	var lastErr error
+	for a := 0; a < c.attempts; a++ {
+		if a > 0 {
+			if err := sleepBackoff(ctx, &backoff); err != nil {
+				return nil, err
+			}
+		}
+		resp, retryable, err := c.attempt(ctx, http.MethodGet, path, nil, true)
+		if err != nil {
+			if !retryable {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
 }
 
 // Cancel stops a job. Cancelling an already-finished job is a no-op
@@ -161,6 +267,53 @@ func (c *Client) WaitHealthy(ctx context.Context) error {
 	}
 }
 
+// attempt issues one request and classifies its failure: transport
+// errors and 5xx responses are retryable, context expiry and other
+// non-2xx responses (APIError) are not. stream selects the client
+// without the body-spanning timeout. The caller owns the returned
+// response body.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, stream bool) (resp *http.Response, retryable bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, false, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.httpc
+	if stream {
+		hc = c.streamc
+	}
+	resp, err = hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, false, ctx.Err()
+		}
+		return nil, true, err
+	}
+	if resp.StatusCode >= 300 {
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: readError(resp.Body)}
+		resp.Body.Close()
+		return nil, resp.StatusCode >= 500, apiErr
+	}
+	return resp, false, nil
+}
+
+// sleepBackoff waits out one retry delay, doubling it in place.
+func sleepBackoff(ctx context.Context, backoff *time.Duration) error {
+	select {
+	case <-time.After(*backoff):
+		*backoff *= 2
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // do issues one API call: marshal in (when non-nil), decode the JSON
 // response into out (when non-nil). retry enables the backoff loop for
 // idempotent calls; 4xx responses never retry (the request itself is
@@ -181,40 +334,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, retry
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return ctx.Err()
+			if err := sleepBackoff(ctx, &backoff); err != nil {
+				return err
 			}
-			backoff *= 2
 		}
-		var rd io.Reader
-		if in != nil {
-			rd = bytes.NewReader(body)
-		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		resp, retryable, err := c.attempt(ctx, method, path, body, false)
 		if err != nil {
-			return err
-		}
-		if in != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-		resp, err := c.httpc.Do(req)
-		if err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
+			if !retryable {
+				return err
 			}
 			lastErr = err
 			continue
-		}
-		if resp.StatusCode >= 300 {
-			apiErr := &APIError{StatusCode: resp.StatusCode, Message: readError(resp.Body)}
-			resp.Body.Close()
-			if resp.StatusCode >= 500 {
-				lastErr = apiErr
-				continue
-			}
-			return apiErr
 		}
 		if out == nil {
 			_, _ = io.Copy(io.Discard, resp.Body)

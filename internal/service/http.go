@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"iter"
 	"net/http"
 	"time"
 
@@ -18,6 +19,12 @@ import (
 // MaxRequestBytes bounds a submitted job body (banks are sent inline).
 const MaxRequestBytes = 64 << 20
 
+// streamFlushEvery is how many NDJSON lines the streaming alignments
+// fetch writes between flushes: small enough that a slow consumer sees
+// steady progress, large enough to amortize the chunked-encoding
+// overhead.
+const streamFlushEvery = 64
+
 // NewHandler returns the service's HTTP+JSON API:
 //
 //	POST   /v1/jobs                submit a comparison; returns {"id": ...}
@@ -25,6 +32,9 @@ const MaxRequestBytes = 64 << 20
 //	GET    /v1/jobs/{id}           poll one job's status
 //	DELETE /v1/jobs/{id}           cancel a job
 //	GET    /v1/jobs/{id}/alignments fetch a finished job's alignments
+//	                               (?stream=1: chunked NDJSON, one
+//	                               alignment per line, instead of one
+//	                               JSON array)
 //	GET    /metrics                Prometheus-style counters
 //	GET    /healthz                liveness probe
 func NewHandler(s *Service) http.Handler {
@@ -334,30 +344,73 @@ func (h *handler) alignments(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusConflict, "job is %s; poll until done", j.State())
 		return
 	}
-	req := j.Request()
+	if r.URL.Query().Get("stream") == "1" {
+		WriteNDJSON(w, jobAlignments(j))
+		return
+	}
 	var out []AlignmentJSON
-	if gr := j.GenomeResult(); gr != nil {
-		out = make([]AlignmentJSON, 0, len(gr.Matches))
-		for i := range gr.Matches {
-			m := &gr.Matches[i]
-			// The frame doubles as the subject id: in genome mode the
-			// subject sequences are the six frame translations.
-			frame := m.Frame.String()
-			aj := alignmentJSON(req.Query.ID(m.Seq0), frame, &m.Alignment)
-			aj.Frame = frame
-			ns, ne := m.NucStart, m.NucEnd
-			aj.NucStart, aj.NucEnd = &ns, &ne
-			out = append(out, aj)
-		}
-	} else {
-		res := j.Result()
-		out = make([]AlignmentJSON, 0, len(res.Alignments))
-		for i := range res.Alignments {
-			a := &res.Alignments[i]
-			out = append(out, alignmentJSON(req.Query.ID(a.Seq0), req.Subject.ID(a.Seq1), a))
-		}
+	for aj := range jobAlignments(j) {
+		out = append(out, aj)
+	}
+	if out == nil {
+		out = []AlignmentJSON{}
 	}
 	WriteJSON(w, http.StatusOK, out)
+}
+
+// jobAlignments yields a finished job's alignments in rank order, one
+// wire record at a time — the single producer behind both the array
+// and the NDJSON fetch paths.
+func jobAlignments(j *Job) iter.Seq[AlignmentJSON] {
+	req := j.Request()
+	return func(yield func(AlignmentJSON) bool) {
+		if gr := j.GenomeResult(); gr != nil {
+			for i := range gr.Matches {
+				m := &gr.Matches[i]
+				// The frame doubles as the subject id: in genome mode the
+				// subject sequences are the six frame translations.
+				frame := m.Frame.String()
+				aj := alignmentJSON(req.Query.ID(m.Seq0), frame, &m.Alignment)
+				aj.Frame = frame
+				ns, ne := m.NucStart, m.NucEnd
+				aj.NucStart, aj.NucEnd = &ns, &ne
+				if !yield(aj) {
+					return
+				}
+			}
+			return
+		}
+		res := j.Result()
+		for i := range res.Alignments {
+			a := &res.Alignments[i]
+			if !yield(alignmentJSON(req.Query.ID(a.Seq0), req.Subject.ID(a.Seq1), a)) {
+				return
+			}
+		}
+	}
+}
+
+// WriteNDJSON streams records as application/x-ndjson — one JSON
+// object per line, flushed every streamFlushEvery lines so consumers
+// decode results while the response is still being written. Shared
+// with the cluster daemon's streaming fetch.
+func WriteNDJSON[T any](w http.ResponseWriter, seq iter.Seq[T]) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	n := 0
+	for v := range seq {
+		// Encode appends the newline NDJSON needs; a write error means
+		// the client went away, which ends the response anyway.
+		if err := enc.Encode(v); err != nil {
+			return
+		}
+		if n++; n%streamFlushEvery == 0 {
+			_ = rc.Flush()
+		}
+	}
+	_ = rc.Flush()
 }
 
 func alignmentJSON(qid, sid string, a *gapped.Alignment) AlignmentJSON {
@@ -372,6 +425,22 @@ func alignmentJSON(qid, sid string, a *gapped.Alignment) AlignmentJSON {
 		SStart:   a.S.Start,
 		SEnd:     a.S.End,
 	}
+}
+
+// MatchJSON renders a v2 match in the service's wire encoding: the
+// query id from the match's query locus, the subject id from its
+// subject locus (the frame string for genome targets), and — when the
+// subject side is translated — the frame and nucleotide interval the
+// genome-mode API reports. cmd/seedcmp's machine-readable output uses
+// it so CLI and service speak one dialect.
+func MatchJSON(m *core.Match) AlignmentJSON {
+	aj := alignmentJSON(m.Query.ID, m.Subject.ID, &m.Alignment)
+	if m.Subject.Translated() {
+		aj.Frame = m.Subject.Frame.String()
+		ns, ne := m.Subject.NucStart, m.Subject.NucEnd
+		aj.NucStart, aj.NucEnd = &ns, &ne
+	}
+	return aj
 }
 
 // metrics renders the service counters in the Prometheus text

@@ -463,6 +463,19 @@ func (s *Service) run(ctx context.Context, req *Request, onStart func()) (*core.
 		return res, gres, nil
 	}
 
+	// The service runs on the v2 search API: the cached subject index
+	// is adopted by a per-request Target, and the engine streams
+	// through Collect — the same adapter path the deprecated v1 entry
+	// points use, so results stay bit-identical to a standalone
+	// core.Compare call.
+	searcher, err := core.SearcherFromOptions(opt)
+	if err != nil {
+		s.mu.Lock()
+		s.waiting--
+		s.mu.Unlock()
+		return finish(nil, nil, err)
+	}
+
 	// The index build/lookup happens outside the admission gate: a
 	// build is one-off per subject (singleflight), and keeping waiters
 	// out of the semaphore means a slow build never pins a compare
@@ -486,7 +499,6 @@ func (s *Service) run(ctx context.Context, req *Request, onStart func()) (*core.
 		s.mu.Unlock()
 		return finish(nil, nil, fmt.Errorf("service: subject index: %w", err))
 	}
-	opt.SubjectIndex = ix
 
 	// Admission: at most MaxConcurrent comparisons in flight.
 	select {
@@ -512,9 +524,33 @@ func (s *Service) run(ctx context.Context, req *Request, onStart func()) (*core.
 	}
 
 	if req.Genome != nil {
-		gres, err := core.CompareGenomeContext(ctx, req.Query, req.Genome, opt)
-		return finish(nil, gres, err)
+		tgt := core.NewGenomeTarget(req.Genome, opt.GeneticCode)
+		tgt.Adopt(ix)
+		ms, sum, err := search(ctx, searcher, req.Query, tgt)
+		if err != nil {
+			return finish(nil, nil, err)
+		}
+		return finish(nil, core.GenomeResultFrom(ms, sum, len(req.Genome)), nil)
 	}
-	res, err := core.CompareContext(ctx, req.Query, req.Subject, opt)
-	return finish(res, nil, err)
+	tgt := core.NewProteinTarget(req.Subject)
+	tgt.Adopt(ix)
+	ms, sum, err := search(ctx, searcher, req.Query, tgt)
+	if err != nil {
+		return finish(nil, nil, err)
+	}
+	return finish(core.ResultFrom(ms, sum), nil, nil)
+}
+
+// search drains one v2 search and returns its matches and summary.
+func search(ctx context.Context, s *core.Searcher, query *bank.Bank, tgt core.Target) ([]core.Match, *core.Summary, error) {
+	res := s.Search(ctx, core.NewProteinTarget(query), tgt)
+	ms, err := res.Collect()
+	if err != nil {
+		return nil, nil, err
+	}
+	sum, err := res.Summary()
+	if err != nil {
+		return nil, nil, err
+	}
+	return ms, sum, nil
 }

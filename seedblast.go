@@ -6,11 +6,16 @@
 // parallel CPU engine or on a cycle-level simulation of the paper's
 // PSC operator on the SGI RASC-100 FPGA accelerator.
 //
-// The package is a facade over the internal packages; it exposes the
-// pipeline (Compare, CompareGenome), the workload generators the
-// experiments use, FASTA I/O helpers and the sequential BLAST-style
-// baseline. See DESIGN.md for the system inventory and EXPERIMENTS.md
-// for the paper-vs-measured record.
+// The package is a facade over the internal packages. The primary
+// entry point is the v2 search API (search.go): a Searcher built once
+// from functional options, reusable indexed Targets for every
+// comparison shape (protein bank, genome, DNA queries), and one
+// Search call with streaming results. The v1 entry points (Compare,
+// CompareGenome, …) remain as deprecated bit-identical adapters. The
+// facade also exposes the workload generators the experiments use,
+// FASTA I/O helpers and the sequential BLAST-style baseline. See
+// DESIGN.md for the system inventory (including the v1→v2 migration
+// table) and EXPERIMENTS.md for the paper-vs-measured record.
 package seedblast
 
 import (
@@ -71,23 +76,35 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // Compare runs the three-step pipeline on two protein banks through
 // the streaming shard engine (batch-identical with the zero
 // Options.Pipeline).
+//
+// Deprecated: use NewSearcher and Search with two ProteinTargets; the
+// adapter is pinned bit-identical (matches and order) by equivalence
+// tests. See DESIGN.md's v1→v2 migration table.
 func Compare(b0, b1 *Bank, opt Options) (*Result, error) {
 	return core.Compare(b0, b1, opt)
 }
 
 // CompareContext is Compare with cancellation: cancelling ctx shuts
 // the engine's stages down promptly and returns ctx's error.
+//
+// Deprecated: use NewSearcher and Search with two ProteinTargets.
 func CompareContext(ctx context.Context, b0, b1 *Bank, opt Options) (*Result, error) {
 	return core.CompareContext(ctx, b0, b1, opt)
 }
 
 // CompareGenome runs the tblastn-style workflow: proteins against a
 // six-frame-translated genome, with matches in genome coordinates.
+//
+// Deprecated: use NewSearcher and Search against a GenomeTarget, which
+// owns the six-frame translation, its reusable index and the
+// genome-coordinate mapping (Match.Subject).
 func CompareGenome(proteins *Bank, genome []byte, opt Options) (*GenomeResult, error) {
 	return core.CompareGenome(proteins, genome, opt)
 }
 
 // CompareGenomeContext is CompareGenome with cancellation.
+//
+// Deprecated: use NewSearcher and Search against a GenomeTarget.
 func CompareGenomeContext(ctx context.Context, proteins *Bank, genome []byte, opt Options) (*GenomeResult, error) {
 	return core.CompareGenomeContext(ctx, proteins, genome, opt)
 }
@@ -108,12 +125,18 @@ type (
 
 // CompareDNAQueries implements blastx: DNA queries are six-frame
 // translated and searched against a protein bank.
+//
+// Deprecated: use NewSearcher and Search with a DNATarget query side
+// against a ProteinTarget; Match.Query carries the frame and
+// nucleotide coordinates.
 func CompareDNAQueries(queries [][]byte, proteins *Bank, opt Options) (*DNAQueryResult, error) {
 	return core.CompareDNAQueries(queries, proteins, opt)
 }
 
 // CompareGenomes implements tblastx: both nucleotide sequences are
 // six-frame translated and compared protein-wise.
+//
+// Deprecated: use NewSearcher and Search with two GenomeTargets.
 func CompareGenomes(genome0, genome1 []byte, opt Options) (*GenomePairResult, error) {
 	return core.CompareGenomes(genome0, genome1, opt)
 }
