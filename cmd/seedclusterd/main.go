@@ -18,6 +18,15 @@
 //	  -workers http://127.0.0.1:8845,http://127.0.0.1:8846 \
 //	  -strategy size -volumes 4
 //
+//	# with prebuilt volume seed indexes (cmd/seeddb) the workers skip
+//	# step 1 entirely: build volumes under the SAME -strategy/-volumes
+//	# the coordinator runs, give worker K the volumes K mod #workers
+//	# (the coordinator's round-robin scatter preference), and every
+//	# volume job fingerprints onto a pre-warmed cache entry:
+//	seeddb build -proteins nr.fasta -out nr.seeddb -volumes 4 -strategy size
+//	seedservd -addr 127.0.0.1:8845 -db nr.vol0.seeddb,nr.vol2.seeddb &
+//	seedservd -addr 127.0.0.1:8846 -db nr.vol1.seeddb,nr.vol3.seeddb &
+//
 //	# exactly the seedservd client flow:
 //	curl -s localhost:8844/v1/jobs -d '{"query":[{"id":"q0","seq":"MKV..."}],
 //	  "subject":[{"id":"s0","seq":"MKI..."}],"options":{"maxEValue":10}}'
@@ -88,9 +97,11 @@ func main() {
 		}
 	}
 
+	server := cluster.NewServer(coord, cluster.ServerConfig{MaxJobsRetained: *maxJobs, JobTTL: *jobTTL, MaxQueued: *maxQueued})
+	defer server.Close()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           cluster.NewHandler(cluster.NewServer(coord, cluster.ServerConfig{MaxJobsRetained: *maxJobs, JobTTL: *jobTTL, MaxQueued: *maxQueued})),
+		Handler:           cluster.NewHandler(server),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,0 +1,168 @@
+// Command seeddb manages persistent on-disk seed indexes: it runs
+// step 1 of the paper's algorithm (bank indexing, §2.1) once and
+// writes the product — index plus bank — as a versioned, checksummed,
+// fingerprint-stamped seeddb file that core.OpenTarget, seedservd -db
+// and cluster volume workers mmap instead of rebuilding.
+//
+//	# index a bank once; serve it forever:
+//	seeddb build -proteins nr.fasta -out nr.seeddb
+//	seedservd -db nr.seeddb
+//
+//	# pre-partitioned cluster volumes (same strategy the coordinator
+//	# uses, so per-volume fingerprints match its scatter exactly;
+//	# distribute vol K to worker K mod #workers — the coordinator
+//	# prefers that round-robin assignment):
+//	seeddb build -proteins nr.fasta -out nr.seeddb -volumes 4 -strategy size
+//	seeddb inspect nr.vol0.seeddb
+//	seeddb verify nr.vol*.seeddb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/cluster"
+	"seedblast/internal/index"
+	"seedblast/internal/seed"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seeddb: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "build":
+		build(os.Args[2:])
+	case "inspect":
+		inspect(os.Args[2:])
+	case "verify":
+		verify(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  seeddb build   -proteins bank.fasta [-out bank.seeddb] [-n 14] [-volumes K -strategy size]
+  seeddb build   -synthetic 1000 [-out bank.seeddb] ...
+  seeddb inspect file.seeddb...
+  seeddb verify  file.seeddb...`)
+}
+
+func build(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	var (
+		proteinsPath = fs.String("proteins", "", "protein bank FASTA file")
+		synthetic    = fs.Int("synthetic", 0, "generate a synthetic bank of this many proteins instead of -proteins")
+		rngSeed      = fs.Int64("seed", 1, "synthetic bank RNG seed")
+		out          = fs.String("out", "bank.seeddb", "output path (with -volumes K, volume V goes to <out base>.volV.seeddb)")
+		n            = fs.Int("n", 14, "neighbourhood extension N (windows are W+2N)")
+		workers      = fs.Int("workers", 0, "index build parallelism (0 = GOMAXPROCS)")
+		volumes      = fs.Int("volumes", 0, "also cut the bank into this many cluster volumes and write one seeddb per volume")
+		strategy     = fs.String("strategy", "size", "volume partitioning strategy: size (balanced residues) or seqcount (contiguous) — must match the coordinator's")
+	)
+	fs.Parse(args)
+
+	var b *bank.Bank
+	switch {
+	case *proteinsPath != "":
+		var err error
+		if b, err = bank.LoadFASTA("bank", *proteinsPath); err != nil {
+			log.Fatal(err)
+		}
+	case *synthetic > 0:
+		b = bank.GenerateProteins(bank.ProteinConfig{N: *synthetic, Seed: *rngSeed})
+	default:
+		log.Fatal("build needs -proteins or -synthetic")
+	}
+	model := seed.Default()
+
+	if *volumes <= 0 {
+		writeDB(b, model, *n, *workers, *out)
+		return
+	}
+	part, err := cluster.PartitionerByName(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lens := make([]int, b.Len())
+	for i := range lens {
+		lens[i] = len(b.Seq(i))
+	}
+	vols := part.Partition(lens, *volumes)
+	base := strings.TrimSuffix(*out, ".seeddb")
+	for vi, vol := range vols {
+		vb := bank.New(fmt.Sprintf("%s-vol%d", b.Name(), vi))
+		for _, gi := range vol.Seqs {
+			vb.Add(b.ID(gi), b.Seq(gi))
+		}
+		writeDB(vb, model, *n, *workers, fmt.Sprintf("%s.vol%d.seeddb", base, vi))
+	}
+	log.Printf("wrote %d volumes (strategy %s); distribute vol K to worker K mod #workers to match the coordinator's scatter preference", len(vols), part.Name())
+}
+
+func writeDB(b *bank.Bank, model *seed.SubsetModel, n, workers int, out string) {
+	ix, err := index.BuildParallel(b, model, n, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ix.WriteFile(out); err != nil {
+		log.Fatal(err)
+	}
+	info, err := index.Inspect(out)
+	if err != nil {
+		log.Fatalf("re-reading %s: %v", out, err)
+	}
+	log.Printf("%s: %d seqs / %d aa, %d entries, fingerprint %.16s…, %d bytes",
+		out, info.Sequences, info.Residues, info.Entries, info.Fingerprint, info.FileSize)
+}
+
+func inspect(args []string) {
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	for _, path := range args {
+		info, err := index.Inspect(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", path)
+		fmt.Printf("  version      %d\n", info.Version)
+		fmt.Printf("  fingerprint  %s\n", info.Fingerprint)
+		fmt.Printf("  seed model   %s (W=%d, %d keys), N=%d, windows %d aa\n",
+			info.ModelName, info.Width, info.KeySpace, info.N, info.SubLen)
+		fmt.Printf("  bank         %s: %d sequences, %d residues\n",
+			info.BankName, info.Sequences, info.Residues)
+		fmt.Printf("  entries      %d\n", info.Entries)
+		fmt.Printf("  file size    %d bytes\n", info.FileSize)
+	}
+}
+
+func verify(args []string) {
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range args {
+		if err := index.Verify(path); err != nil {
+			log.Printf("FAIL %s: %v", path, err)
+			failed = true
+			continue
+		}
+		log.Printf("ok   %s", path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,12 @@
 //
 //	seedservd -addr :8844 -max-concurrent 4 -cache-entries 16
 //
+//	# serve a prebuilt seed index (cmd/seeddb) so step 1 is never
+//	# recomputed — the cache is pre-warmed at start and misses for the
+//	# stored fingerprint reload from disk:
+//	seeddb build -proteins nr.fasta -out nr.seeddb
+//	seedservd -db nr.seeddb
+//
 //	# submit, poll, fetch (add ?stream=1 for chunked NDJSON — one
 //	# alignment per line, decoded incrementally by
 //	# service.Client.StreamAlignments):
@@ -25,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"seedblast/internal/service"
@@ -41,6 +48,7 @@ func main() {
 		maxJobs       = flag.Int("max-jobs", 256, "finished jobs kept pollable before the oldest are dropped")
 		jobTTL        = flag.Duration("job-ttl", 15*time.Minute, "finished jobs expire after this age (negative disables)")
 		maxQueued     = flag.Int("max-queued", 1024, "unfinished jobs accepted before submissions are rejected")
+		dbPaths       = flag.String("db", "", "comma-separated seeddb files (cmd/seeddb) to pre-warm the subject-index cache with; cache misses for their fingerprints reload from disk instead of rebuilding")
 	)
 	flag.Parse()
 
@@ -51,6 +59,16 @@ func main() {
 		JobTTL:          *jobTTL,
 		MaxQueued:       *maxQueued,
 	})
+	for _, path := range strings.Split(*dbPaths, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		fp, err := svc.PreloadDB(path)
+		if err != nil {
+			log.Fatalf("-db %s: %v", path, err)
+		}
+		log.Printf("preloaded %s (fingerprint %.16s…)", path, fp)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           service.NewHandler(svc),

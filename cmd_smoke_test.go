@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"reflect"
@@ -275,6 +276,57 @@ func TestCmdSeedservdSmoke(t *testing.T) {
 	for _, want := range []string{"seedservd_requests_completed_total 1", "seedservd_index_cache_misses_total 1"} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestCmdSeeddbSmoke drives the persistence workflow end to end with
+// the real binaries: seeddb build → inspect → verify, then seedservd
+// -db serving the prebuilt index — the smoke job's subject bank is
+// byte-identical to the built bank, so the request must be a cache hit
+// with zero misses (step 1 never runs in the daemon).
+func TestCmdSeeddbSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests in -short mode")
+	}
+	dbBin := buildTool(t, "cmd/seeddb")
+	servBin := buildTool(t, "cmd/seedservd")
+
+	// The smoke job's subject bank, as FASTA.
+	dir := t.TempDir()
+	fasta := filepath.Join(dir, "subject.fasta")
+	if err := os.WriteFile(fasta, []byte(
+		">s0\nMKVLITGASGFIGSHLVDRLMSKGYEVIGLDNFNDYYDVRLKEARLELL\n"+
+			">s1\nAWQETNPNNSWGWSQERLAELAAEYDVDAIRPGRGLHLMSSRSHATTAW\n"+
+			">s2\nGGSGGSGGSGGSGGSGGSGGSGGSGGSGGSGGSGGSGGSGGSGGSGGSG\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := filepath.Join(dir, "subject.seeddb")
+	run(t, dbBin, "build", "-proteins", fasta, "-out", db)
+
+	out := run(t, dbBin, "inspect", db)
+	for _, want := range []string{"fingerprint", "subset4", "3 sequences"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("seeddb inspect output missing %q:\n%s", want, out)
+		}
+	}
+	if out := run(t, dbBin, "verify", db); !strings.Contains(out, "ok") {
+		t.Errorf("seeddb verify output:\n%s", out)
+	}
+
+	addr := freeAddr(t)
+	startDaemon(t, servBin, "-addr", addr, "-db", db)
+	base := "http://" + addr
+	smokeJob(t, base)
+
+	metrics := fetchMetrics(t, base+"/metrics")
+	for _, want := range []string{
+		"seedservd_index_cache_hits_total 1",
+		"seedservd_index_cache_misses_total 0",
+		"seedservd_requests_completed_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q (prebuilt index should pre-warm the cache):\n%s", want, metrics)
 		}
 	}
 }

@@ -78,15 +78,22 @@ func (j *clusterJob) FinishedAt() time.Time {
 	return j.finished
 }
 
-// NewServer returns a coordinator daemon front end.
+// NewServer returns a coordinator daemon front end. Its job store
+// sweeps expired jobs in the background like the worker daemon's;
+// call Close on shutdown to stop the sweeper.
 func NewServer(coord *Coordinator, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		coord:     coord,
 		store:     service.NewJobStore[*clusterJob](cfg.MaxJobsRetained, cfg.JobTTL),
 		maxQueued: cfg.MaxQueued,
 	}
+	s.store.StartSweeper(service.DefaultSweepInterval(cfg.JobTTL))
+	return s
 }
+
+// Close stops the server's background job-store sweeper.
+func (s *Server) Close() { s.store.StopSweeper() }
 
 // NewHandler returns the daemon's HTTP API:
 //

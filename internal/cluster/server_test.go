@@ -26,7 +26,9 @@ func TestServerJobFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewHandler(NewServer(coord, ServerConfig{})))
+	server := NewServer(coord, ServerConfig{})
+	defer server.Close()
+	srv := httptest.NewServer(NewHandler(server))
 	defer srv.Close()
 
 	cl := service.NewClient(srv.URL, service.ClientConfig{})
@@ -79,7 +81,9 @@ func TestServerQueueBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewHandler(NewServer(coord, ServerConfig{MaxQueued: 1})))
+	server := NewServer(coord, ServerConfig{MaxQueued: 1})
+	defer server.Close()
+	srv := httptest.NewServer(NewHandler(server))
 	defer srv.Close()
 
 	cl := service.NewClient(srv.URL, service.ClientConfig{})
@@ -118,7 +122,9 @@ func TestServerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewHandler(NewServer(coord, ServerConfig{})))
+	server := NewServer(coord, ServerConfig{})
+	defer server.Close()
+	srv := httptest.NewServer(NewHandler(server))
 	defer srv.Close()
 
 	post := func(body string) int {

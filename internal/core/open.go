@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"seedblast/internal/index"
+)
+
+// OpenTarget loads a seeddb file (written by (*index.Index).WriteTo /
+// cmd/seeddb) and returns it as a ready protein search target: the
+// bank decoded out of the file and the prebuilt step-1 index adopted
+// under its (seed model, N) identity, so a Searcher with the same seed
+// configuration skips the index build entirely. Searches with a
+// different (seed, N) still work — the target builds that index from
+// the loaded bank on first use, exactly like a fresh target.
+//
+// The index and bank alias the file's memory mapping, which stays
+// mapped for the life of the target; call Close to release it. Search
+// results over an opened target are bit-identical (values and order)
+// to searches over an in-memory NewProteinTarget + build of the same
+// bank, which the equivalence tests pin for every engine.
+func OpenTarget(path string) (*ProteinTarget, error) {
+	ix, err := index.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	t := NewProteinTarget(ix.Bank())
+	t.Adopt(ix)
+	t.closer = ix.Close
+	return t, nil
+}
+
+// Close releases the resources behind a target opened from disk (the
+// seeddb file mapping); it is a no-op for targets built in memory. The
+// target, its bank, its adopted index and any Results still streaming
+// over them are invalid afterwards.
+func (t *ProteinTarget) Close() error {
+	if t.closer == nil {
+		return nil
+	}
+	c := t.closer
+	t.closer = nil
+	if err := c(); err != nil {
+		return fmt.Errorf("core: closing target: %w", err)
+	}
+	return nil
+}

@@ -124,8 +124,9 @@ func (s *indexSet) adopt(ix *index.Index) {
 
 // ProteinTarget is a protein bank as a search target (or query side).
 type ProteinTarget struct {
-	b   *bank.Bank
-	ixs indexSet
+	b      *bank.Bank
+	ixs    indexSet
+	closer func() error // releases disk-backed storage (OpenTarget)
 }
 
 // NewProteinTarget wraps a protein bank. The bank is treated as

@@ -13,9 +13,11 @@ import (
 // BankFingerprint returns a stable hex digest of a bank's contents:
 // every sequence id and residue string, length-prefixed so record
 // boundaries are unambiguous. Two banks with equal fingerprints index
-// identically under any seed model. The bank name is deliberately
-// excluded — the same sequences under a different label are the same
-// subject.
+// identically under any seed model AND report identical ids. The
+// per-sequence ids are deliberately part of the digest: reports (and
+// the cluster gather) key alignments by id, so a bank whose sequences
+// were renamed must not be served another bank's cached index — only
+// the bank-level name is excluded, since nothing downstream reads it.
 func BankFingerprint(b *bank.Bank) string {
 	h := sha256.New()
 	var lenBuf [8]byte
@@ -50,7 +52,12 @@ func Fingerprint(b *bank.Bank, model seed.Model, n int) string {
 }
 
 // Fingerprint returns the index's own build fingerprint (the same
-// value Fingerprint reports for its bank, model and N).
+// value Fingerprint reports for its bank, model and N). For an index
+// loaded from a seeddb file the decoder has already computed and
+// verified it, so this is a field read, not a hash pass.
 func (ix *Index) Fingerprint() string {
+	if ix.fingerprint != "" {
+		return ix.fingerprint
+	}
 	return Fingerprint(ix.bank, ix.model, ix.n)
 }

@@ -33,6 +33,30 @@ func TestBankFingerprint(t *testing.T) {
 	}
 }
 
+// TestBankFingerprintKeyedOnSequenceIDs pins that renaming a sequence
+// changes the fingerprint: alignments are reported (and cluster-merged)
+// by id, so a renamed subject must not be served another bank's cached
+// index with the old ids baked into its reports.
+func TestBankFingerprintKeyedOnSequenceIDs(t *testing.T) {
+	a := bank.New("bank")
+	a.Add("s0", []byte("ACDEF"))
+	a.Add("s1", []byte("GHIKL"))
+	renamed := bank.New("bank")
+	renamed.Add("s0", []byte("ACDEF"))
+	renamed.Add("renamed", []byte("GHIKL"))
+	if BankFingerprint(a) == BankFingerprint(renamed) {
+		t.Error("renaming a sequence id did not change the fingerprint")
+	}
+	// The id/residue boundary must not be exploitable either: moving a
+	// residue from the id into the sequence is a different bank.
+	shifted := bank.New("bank")
+	shifted.Add("s0A", []byte("CDEF"))
+	shifted.Add("s1", []byte("GHIKL"))
+	if BankFingerprint(a) == BankFingerprint(shifted) {
+		t.Error("id/residue boundary not separated in the fingerprint")
+	}
+}
+
 func TestIndexFingerprintKeyedOnModelAndN(t *testing.T) {
 	b := bank.GenerateProteins(bank.ProteinConfig{N: 4, MeanLen: 60, Seed: 9})
 	m := seed.Default()

@@ -34,6 +34,14 @@ type Index struct {
 	// [off-N, off+W+N) padded with X at sequence boundaries, at
 	// neighborhoods[i*subLen : (i+1)*subLen].
 	neighborhoods []byte
+	// close releases the storage backing a loaded index (the seeddb
+	// file mapping); nil for built indexes. See Open and Close.
+	close func() error
+	// fingerprint caches the build fingerprint for loaded indexes —
+	// the seeddb decoder has already recomputed and verified it
+	// against the file stamp, so Fingerprint need not hash the bank a
+	// second time. Empty for built indexes (computed on demand).
+	fingerprint string
 }
 
 // Build indexes every W-wide window of every sequence in b. Windows

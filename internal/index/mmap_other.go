@@ -1,0 +1,16 @@
+//go:build !unix
+
+package index
+
+import "os"
+
+// mmapFile reads path into memory on platforms without a wired-up
+// mmap: the loaded index behaves identically (sections alias the one
+// buffer), it just doesn't share pages across processes.
+func mmapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return alignedImage(data), func() error { return nil }, nil
+}

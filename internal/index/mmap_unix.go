@@ -1,0 +1,40 @@
+//go:build unix
+
+package index
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the mapping plus its
+// release function. The mapping is shared, so every process opening
+// the same seeddb file shares one set of physical pages — the paper's
+// step-1 product becomes a shared OS resource instead of per-process
+// heap. An empty file maps to an empty (heap) slice, since mmap
+// rejects zero-length mappings; such a file fails preamble validation
+// anyway.
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("file of %d bytes does not fit the address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -11,11 +11,14 @@ import (
 // CacheStats reports the subject-index cache's behaviour. A Hit is any
 // request that found an entry — including requests that joined an
 // in-flight build (singleflight). A Miss is a request that had to
-// start a build.
+// start a build (or a disk load, see DiskLoads).
 type CacheStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	// DiskLoads counts misses satisfied by loading a registered seeddb
+	// file instead of rebuilding the index (see Service.RegisterDB).
+	DiskLoads int64
 	Entries   int // entries currently resident (including in-flight builds)
 }
 
@@ -99,17 +102,51 @@ func (c *indexCache) get(ctx context.Context, key string, build func() (*index.I
 	return e.ix, nil
 }
 
-// evictLocked trims the cache to capacity from the LRU end. Evicting
-// an in-flight entry is harmless: its builder still closes ready and
-// waiters still receive the result; the index just isn't retained.
+// evictLocked trims the cache to capacity from the LRU end, skipping
+// entries whose build is still in flight: evicting one would silently
+// discard the finished index (its builder closes ready and its current
+// waiters get the result, but the cache forgets it), so the very next
+// request for that key would rebuild — under sustained capacity
+// pressure, every time. Ready entries are evicted oldest-first; if
+// every resident entry is in flight the cache temporarily exceeds
+// capacity rather than throw away running work.
 func (c *indexCache) evictLocked() {
-	for c.order.Len() > c.cap {
-		el := c.order.Back()
+	over := c.order.Len() - c.cap
+	for el := c.order.Back(); el != nil && over > 0; {
+		prev := el.Prev()
 		e := el.Value.(*cacheEntry)
-		c.order.Remove(el)
-		delete(c.entries, e.key)
-		c.stats.Evictions++
+		select {
+		case <-e.ready:
+			c.order.Remove(el)
+			delete(c.entries, e.key)
+			c.stats.Evictions++
+			over--
+		default: // build in flight: keep
+		}
+		el = prev
 	}
+}
+
+// put installs an already-built index under key (the disk pre-warm
+// path). An existing entry — ready or in flight — wins: put never
+// clobbers state other requests may be waiting on.
+func (c *indexCache) put(key string, ix *index.Index) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{}), ix: ix}
+	close(e.ready)
+	c.entries[key] = c.order.PushFront(e)
+	c.evictLocked()
+}
+
+// diskLoad records a miss that was satisfied from a seeddb file.
+func (c *indexCache) diskLoad() {
+	c.mu.Lock()
+	c.stats.DiskLoads++
+	c.mu.Unlock()
 }
 
 // snapshot returns the current statistics.

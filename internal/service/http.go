@@ -458,6 +458,7 @@ func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	p("index_cache_hits_total", m.Cache.Hits)
 	p("index_cache_misses_total", m.Cache.Misses)
 	p("index_cache_evictions_total", m.Cache.Evictions)
+	p("index_cache_disk_loads_total", m.Cache.DiskLoads)
 	p("index_cache_entries", m.Cache.Entries)
 	p("index_cache_hit_rate", m.CacheHitRate)
 	fmt.Fprintf(w, "seedservd_stage_busy_seconds_total{stage=\"index\"} %v\n", m.IndexBusy.Seconds())

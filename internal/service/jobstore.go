@@ -17,16 +17,20 @@ type JobStoreEntry interface {
 // JobStore is the bounded, submission-ordered job index shared by the
 // worker daemon and the cluster coordinator daemon (one eviction
 // policy, one implementation). Finished entries are evicted beyond a
-// count cap (oldest first) and past a TTL, checked on every access,
-// so a long-lived daemon's store stays bounded without a background
-// sweeper. Queued and running entries are never evicted. Safe for
-// concurrent use.
+// count cap (oldest first) and past a TTL. The policy runs on every
+// access, and — because an idle daemon gets no accesses, which would
+// otherwise pin dead jobs and their alignment payloads indefinitely —
+// on a background sweep (StartSweeper). Queued and running entries are
+// never evicted. Safe for concurrent use.
 type JobStore[J JobStoreEntry] struct {
 	mu    sync.Mutex
 	max   int
 	ttl   time.Duration
 	jobs  map[string]J
 	order []string
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 }
 
 // NewJobStore returns a store evicting finished jobs beyond maxJobs
@@ -75,6 +79,61 @@ func (s *JobStore[J]) Prune() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pruneLocked()
+}
+
+// StartSweeper runs the eviction policy every interval until
+// StopSweeper is called, so an idle daemon sheds expired jobs (and
+// their retained alignments) without waiting for the next request to
+// happen by. interval <= 0 or an already-running sweeper is a no-op.
+func (s *JobStore[J]) StartSweeper(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.sweepStop != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop, done := make(chan struct{}), make(chan struct{})
+	s.sweepStop, s.sweepDone = stop, done
+	s.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Prune()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// StopSweeper stops the background sweep and waits for it to exit. It
+// is safe to call with no sweeper running, and more than once.
+func (s *JobStore[J]) StopSweeper() {
+	s.mu.Lock()
+	stop, done := s.sweepStop, s.sweepDone
+	s.sweepStop, s.sweepDone = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// len reports the retained job count without pruning — the observer
+// the sweeper tests watch to see eviction happen with no access
+// traffic.
+func (s *JobStore[J]) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
 }
 
 // pruneLocked drops finished jobs beyond the count cap (oldest first)

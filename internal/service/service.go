@@ -61,6 +61,12 @@ type Config struct {
 	// without bound no matter what the finished-job eviction does.
 	// Submit rejects beyond it. Zero means 1024; negative disables.
 	MaxQueued int
+	// SweepInterval is the cadence of the background job-store sweep
+	// that evicts expired jobs on an idle daemon (access-time pruning
+	// alone would retain dead jobs and their alignments until the next
+	// request). Zero means JobTTL/2, clamped to [1s, 1min]; negative
+	// disables the sweeper (pruning still happens on access).
+	SweepInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -79,7 +85,29 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueued == 0 {
 		c.MaxQueued = 1024
 	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = DefaultSweepInterval(c.JobTTL)
+	}
 	return c
+}
+
+// DefaultSweepInterval derives a job-store sweep cadence from a TTL:
+// half the TTL bounds staleness at 1.5× the configured age, clamped so
+// tiny test TTLs don't spin and huge TTLs still sweep every minute.
+// Shared with the cluster daemon so both front ends age jobs out the
+// same way.
+func DefaultSweepInterval(ttl time.Duration) time.Duration {
+	if ttl <= 0 {
+		return -1 // no TTL: access-time count pruning suffices
+	}
+	iv := ttl / 2
+	if iv < time.Second {
+		iv = time.Second
+	}
+	if iv > time.Minute {
+		iv = time.Minute
+	}
+	return iv
 }
 
 // Request describes one comparison. Exactly one of Subject (bank vs
@@ -222,6 +250,7 @@ type Service struct {
 	sem      chan struct{}
 	buildSem chan struct{} // bounds concurrent cold index builds
 	cache    *indexCache
+	disk     diskRegistry // fingerprint → seeddb path (RegisterDB)
 
 	store *JobStore[*Job]
 
@@ -247,13 +276,15 @@ type Service struct {
 // New returns a ready service.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		buildSem: make(chan struct{}, cfg.MaxConcurrent),
 		cache:    newIndexCache(cfg.CacheEntries),
 		store:    NewJobStore[*Job](cfg.MaxJobsRetained, cfg.JobTTL),
 	}
+	s.store.StartSweeper(cfg.SweepInterval)
+	return s
 }
 
 // Config returns the resolved configuration.
@@ -345,12 +376,14 @@ func (s *Service) Job(id string) (*Job, bool) { return s.store.Get(id) }
 // Jobs returns all retained jobs in submission order.
 func (s *Service) Jobs() []*Job { return s.store.All() }
 
-// Close stops accepting new jobs and waits for outstanding ones.
+// Close stops accepting new jobs, waits for outstanding ones and
+// shuts the job-store sweeper down.
 func (s *Service) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.store.StopSweeper()
 }
 
 // Metrics returns a snapshot of the service counters.
@@ -490,6 +523,13 @@ func (s *Service) run(ctx context.Context, req *Request, onStart func()) (*core.
 	gatedBuild := func() (*index.Index, error) {
 		s.buildSem <- struct{}{}
 		defer func() { <-s.buildSem }()
+		// Second tier before rebuild: a registered seeddb with this
+		// fingerprint is loaded from disk (mmap, no step-1 pass). A
+		// failed or stale disk load silently falls back to building —
+		// the rebuild path is always correct.
+		if ix, ok := s.loadFromDisk(key); ok {
+			return ix, nil
+		}
 		return build()
 	}
 	ix, err := s.cache.get(ctx, key, gatedBuild)

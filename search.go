@@ -95,6 +95,14 @@ func NewDNATarget(queries [][]byte, code *GeneticCode) *DNATarget {
 	return core.NewDNATarget(queries, code)
 }
 
+// OpenTarget loads a seeddb file (cmd/seeddb, or an Index written with
+// WriteTo) as a ready protein search target: the bank and its prebuilt
+// step-1 index are mapped from disk, so a Searcher with the matching
+// seed configuration skips indexing entirely. Search results are
+// bit-identical to an in-memory build of the same bank. Call Close on
+// the returned target to release the file mapping.
+func OpenTarget(path string) (*ProteinTarget, error) { return core.OpenTarget(path) }
+
 // ResultFrom assembles a v1 Result from collected v2 matches and
 // their summary — the bridge for code that still consumes the
 // materialized v1 shapes.
