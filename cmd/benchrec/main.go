@@ -1,0 +1,232 @@
+// Command benchrec measures the step-2 kernel and the streaming
+// pipeline on the paper's asymmetric workload shape and writes a
+// machine-readable benchmark record (BENCH_NNNN.json). The checked-in
+// record pins the measured scalar-vs-blocked speedup next to the
+// EXPERIMENTS.md narrative so regressions are diffable.
+//
+// Example:
+//
+//	benchrec -out BENCH_0006.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/core"
+	"seedblast/internal/index"
+	"seedblast/internal/matrix"
+	"seedblast/internal/seed"
+	"seedblast/internal/ungapped"
+)
+
+// KernelSample is one (N, kernel) cell of the step-2 measurement.
+type KernelSample struct {
+	N           int     `json:"n"`      // neighbourhood extension; windows are W+2N
+	Kernel      string  `json:"kernel"` // "scalar" or "blocked"
+	Pairs       int64   `json:"pairs"`  // pairs scored per run
+	NsPerPair   float64 `json:"nsPerPair"`
+	PairsPerSec float64 `json:"pairsPerSec"`
+}
+
+// Speedup is the blocked/scalar single-core throughput ratio at one N.
+type Speedup struct {
+	N     int     `json:"n"`
+	Ratio float64 `json:"ratio"`
+}
+
+// StreamSample is the end-to-end streaming-engine measurement: the
+// full three-step pipeline with sharding, auto kernel, one host.
+type StreamSample struct {
+	ShardSize      int     `json:"shardSize"`
+	Shards         int     `json:"shards"`
+	Pairs          int64   `json:"pairs"`
+	Residues       int     `json:"residues"` // subject residues processed
+	WallMS         float64 `json:"wallMS"`
+	PairsPerSec    float64 `json:"pairsPerSec"`
+	ResiduesPerSec float64 `json:"residuesPerSec"`
+	Kernel         string  `json:"kernel"` // kernel the CPU shards resolved to
+}
+
+// Record is the file layout of a BENCH_NNNN.json.
+type Record struct {
+	ID        string         `json:"id"`
+	Date      string         `json:"date"`
+	GoVersion string         `json:"goVersion"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	NumCPU    int            `json:"numCPU"`
+	Workload  string         `json:"workload"`
+	Kernels   []KernelSample `json:"kernels"`
+	Speedups  []Speedup      `json:"speedups"`
+	Stream    StreamSample   `json:"stream"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchrec: ")
+
+	// testing.Init registers the test.* flags testing.Benchmark reads
+	// (test.benchtime); it must run before this binary's flag.Parse.
+	testing.Init()
+	var (
+		out       = flag.String("out", "BENCH_0006.json", "output record path")
+		id        = flag.String("id", "BENCH_0006", "record identifier")
+		n0        = flag.Int("queries", 8, "query sequences")
+		l0        = flag.Int("query-len", 200, "query length")
+		n1        = flag.Int("subjects", 2000, "subject sequences")
+		l1        = flag.Int("subject-len", 600, "subject length")
+		benchtime = flag.Duration("benchtime", time.Second, "minimum measuring time per cell")
+	)
+	flag.Parse()
+
+	rec := Record{
+		ID:        *id,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Workload: fmt.Sprintf("%d×%daa queries vs %d×%daa subjects, W=4 subset seed, BLOSUM62, T=38",
+			*n0, *l0, *n1, *l1),
+	}
+
+	for _, n := range []int{4, 8, 14} {
+		ix0, ix1, err := buildIndexes(*n0, *l0, *n1, *l1, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pairs := ungapped.PairCount(ix0, ix1)
+		byKernel := map[ungapped.Kernel]float64{}
+		for _, kernel := range []ungapped.Kernel{ungapped.KernelScalar, ungapped.KernelBlocked} {
+			ns := measureKernel(ix0, ix1, kernel, pairs, *benchtime)
+			byKernel[kernel] = ns
+			rec.Kernels = append(rec.Kernels, KernelSample{
+				N:           n,
+				Kernel:      kernel.String(),
+				Pairs:       pairs,
+				NsPerPair:   round3(ns),
+				PairsPerSec: round3(1e9 / ns),
+			})
+			log.Printf("N=%d %s: %.3f ns/pair (%.0f pairs/s)", n, kernel, ns, 1e9/ns)
+		}
+		ratio := byKernel[ungapped.KernelScalar] / byKernel[ungapped.KernelBlocked]
+		rec.Speedups = append(rec.Speedups, Speedup{N: n, Ratio: round3(ratio)})
+		log.Printf("N=%d: blocked %.2fx scalar", n, ratio)
+	}
+
+	stream, err := measureStream(*n0, *l0, *n1, *l1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec.Stream = *stream
+	log.Printf("stream: %d shards of %d, %.1f ms wall, %.0f pairs/s, %.0f residues/s (kernel %s)",
+		stream.Shards, stream.ShardSize, stream.WallMS, stream.PairsPerSec, stream.ResiduesPerSec, stream.Kernel)
+
+	buf, err := json.MarshalIndent(&rec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+// buildIndexes reproduces BenchmarkStep2Kernel's workload: a small
+// query bank against a much larger subject bank, giving the dense IL1
+// lists step 2 spends its time in.
+func buildIndexes(n0, l0, n1, l1, n int) (*index.Index, *index.Index, error) {
+	rng := bank.NewRNG(42)
+	b0 := bank.New("q")
+	for i := 0; i < n0; i++ {
+		b0.Add(fmt.Sprintf("q%d", i), bank.RandomProtein(rng, l0))
+	}
+	b1 := bank.New("s")
+	for i := 0; i < n1; i++ {
+		b1.Add(fmt.Sprintf("s%d", i), bank.RandomProtein(rng, l1))
+	}
+	model := seed.Default()
+	ix0, err := index.Build(b0, model, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix1, err := index.Build(b1, model, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ix0, ix1, nil
+}
+
+// measureKernel times single-core ungapped.Run with the given kernel
+// under the standard benchmark harness and returns ns per scored pair.
+func measureKernel(ix0, ix1 *index.Index, kernel ungapped.Kernel, pairs int64, benchtime time.Duration) float64 {
+	cfg := ungapped.Config{Matrix: matrix.BLOSUM62, Threshold: 38, Workers: 1, Kernel: kernel}
+	// testing.Benchmark honours -test.benchtime; flags are not parsed
+	// in this binary, so set it explicitly before the run.
+	if err := flag.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		log.Fatal(err)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ungapped.Run(ix0, ix1, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Kernel != kernel {
+				b.Fatalf("kernel %v resolved to %v on this workload", kernel, res.Kernel)
+			}
+		}
+	})
+	return float64(r.T.Nanoseconds()) / float64(pairs*int64(r.N))
+}
+
+// measureStream runs the full streaming pipeline (steps 1–3, sharded,
+// auto kernel) once and reports its end-to-end throughput.
+func measureStream(n0, l0, n1, l1 int) (*StreamSample, error) {
+	rng := bank.NewRNG(42)
+	b0 := bank.New("q")
+	for i := 0; i < n0; i++ {
+		b0.Add(fmt.Sprintf("q%d", i), bank.RandomProtein(rng, l0))
+	}
+	b1 := bank.New("s")
+	residues := 0
+	for i := 0; i < n1; i++ {
+		p := bank.RandomProtein(rng, l1)
+		residues += len(p)
+		b1.Add(fmt.Sprintf("s%d", i), p)
+	}
+	opt := core.DefaultOptions()
+	opt.Pipeline.ShardSize = 2 // shard the small query side, stream the pipeline
+	opt.Pipeline.InFlight = 2
+	res, err := core.Compare(b0, b1, opt)
+	if err != nil {
+		return nil, err
+	}
+	wall := res.Pipeline.Wall
+	kernel := "scalar"
+	if res.Pipeline.ShardsByKernel["blocked"] > 0 {
+		kernel = "blocked"
+	}
+	return &StreamSample{
+		ShardSize:      2,
+		Shards:         res.Pipeline.Shards,
+		Pairs:          res.Pairs,
+		Residues:       residues,
+		WallMS:         round3(float64(wall.Nanoseconds()) / 1e6),
+		PairsPerSec:    round3(float64(res.Pairs) / wall.Seconds()),
+		ResiduesPerSec: round3(float64(residues) / wall.Seconds()),
+		Kernel:         kernel,
+	}, nil
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

@@ -44,6 +44,7 @@ func main() {
 		plant        = flag.Int("plant", 10, "genes planted in the synthetic genome")
 		seed         = flag.Int64("seed", 1, "synthetic workload RNG seed")
 		engine       = flag.String("engine", "cpu", "step-2 engine: cpu, rasc, or multi (shards fanned across both)")
+		kernelName   = flag.String("kernel", "auto", "CPU step-2 inner loop: auto, scalar, or blocked (bit-identical results)")
 		shardSize    = flag.Int("shard-size", 0, "stream the bank through the pipeline in shards of this many proteins (0 = one shard)")
 		inflight     = flag.Int("inflight", 2, "shards in flight between pipeline stages")
 		streamW      = flag.Int("stream-workers", 0, "concurrent shards per pipeline stage (0 = auto: 1, or one per backend with -engine multi)")
@@ -82,7 +83,12 @@ func main() {
 			workers = 2 // one in-flight shard per backend, so cpu and rasc run concurrently
 		}
 	}
+	kernel, err := seedblast.ParseKernel(*kernelName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := []seedblast.Option{
+		seedblast.WithStep2Kernel(kernel),
 		seedblast.WithUngappedThreshold(*threshold),
 		seedblast.WithMaxEValue(*evalue),
 		seedblast.WithTraceback(*full),
@@ -222,6 +228,21 @@ func printTiming(res *seedblast.GenomeResult) {
 		for _, name := range names {
 			fmt.Printf("  backend %s: %d shards\n", name, pm.ShardsByBackend[name])
 		}
+	}
+	printKernels(res.Pipeline.ShardsByKernel)
+}
+
+// printKernels reports which step-2 CPU kernel(s) actually ran — the
+// resolution of -kernel auto is otherwise invisible. Accelerator
+// shards carry no kernel and are reported by the device line instead.
+func printKernels(byKernel map[string]int) {
+	names := make([]string, 0, len(byKernel))
+	for name := range byKernel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("kernel %s: %d shards\n", name, byKernel[name])
 	}
 }
 

@@ -6,6 +6,7 @@
 package align
 
 import (
+	"seedblast/internal/alphabet"
 	"seedblast/internal/matrix"
 )
 
@@ -21,7 +22,7 @@ func WindowScore(s0, s1 []byte, m *matrix.Matrix) int {
 	table := m.Table()
 	score, best := 0, 0
 	for k := 0; k < len(s0); k++ {
-		score += int(table[int(s0[k])*24+int(s1[k])])
+		score += int(table[int(s0[k])*alphabet.NumAA+int(s1[k])])
 		if score < 0 {
 			score = 0
 		}
@@ -41,7 +42,7 @@ func MaxPrefixScore(s0, s1 []byte, m *matrix.Matrix) int {
 	table := m.Table()
 	score, best := 0, 0
 	for k := 0; k < len(s0); k++ {
-		score += int(table[int(s0[k])*24+int(s1[k])])
+		score += int(table[int(s0[k])*alphabet.NumAA+int(s1[k])])
 		if score > best {
 			best = score
 		}
@@ -70,7 +71,7 @@ func ExtendUngapped(q, s []byte, qPos, sPos, w int, xdrop int, m *matrix.Matrix)
 	// Score of the seed itself.
 	seedScore := 0
 	for k := 0; k < w; k++ {
-		seedScore += int(table[int(q[qPos+k])*24+int(s[sPos+k])])
+		seedScore += int(table[int(q[qPos+k])*alphabet.NumAA+int(s[sPos+k])])
 	}
 
 	// Right extension from the seed end.
@@ -78,7 +79,7 @@ func ExtendUngapped(q, s []byte, qPos, sPos, w int, xdrop int, m *matrix.Matrix)
 	run := 0
 	rightLen := 0
 	for i := 0; qPos+w+i < len(q) && sPos+w+i < len(s); i++ {
-		run += int(table[int(q[qPos+w+i])*24+int(s[sPos+w+i])])
+		run += int(table[int(q[qPos+w+i])*alphabet.NumAA+int(s[sPos+w+i])])
 		if run > best {
 			best = run
 			rightLen = i + 1
@@ -93,7 +94,7 @@ func ExtendUngapped(q, s []byte, qPos, sPos, w int, xdrop int, m *matrix.Matrix)
 	best, run = 0, 0
 	leftLen := 0
 	for i := 1; qPos-i >= 0 && sPos-i >= 0; i++ {
-		run += int(table[int(q[qPos-i])*24+int(s[sPos-i])])
+		run += int(table[int(q[qPos-i])*alphabet.NumAA+int(s[sPos-i])])
 		if run > best {
 			best = run
 			leftLen = i

@@ -182,3 +182,37 @@ func TestExtendUngappedAtBoundaries(t *testing.T) {
 		t.Errorf("boundary seed: %+v", got)
 	}
 }
+
+func TestScoringUsesMatrixTableLayout(t *testing.T) {
+	// Regression test for the table stride: scoring must index the dense
+	// table as row*alphabet.NumAA+col for every residue pair, including
+	// the non-standard codes (B, Z, X, *) in rows ≥ 20 where a wrong
+	// stride silently reads a neighbouring row. Build a matrix where
+	// every pair has a unique positive score so any stride error changes
+	// the result.
+	table := make([]int8, alphabet.NumAA*alphabet.NumAA)
+	for a := 0; a < alphabet.NumAA; a++ {
+		for b := 0; b < alphabet.NumAA; b++ {
+			table[a*alphabet.NumAA+b] = int8(a*5 + b%5 + 1)
+		}
+	}
+	m, err := matrix.New("layout", table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < alphabet.NumAA; a++ {
+		for b := 0; b < alphabet.NumAA; b++ {
+			want := m.Score(byte(a), byte(b))
+			if got := WindowScore([]byte{byte(a)}, []byte{byte(b)}, m); got != want {
+				t.Fatalf("WindowScore(%d,%d) = %d, want %d (table stride broken)", a, b, got, want)
+			}
+			if got := MaxPrefixScore([]byte{byte(a)}, []byte{byte(b)}, m); got != want {
+				t.Fatalf("MaxPrefixScore(%d,%d) = %d, want %d (table stride broken)", a, b, got, want)
+			}
+			ext := ExtendUngapped([]byte{byte(a)}, []byte{byte(b)}, 0, 0, 1, 10, m)
+			if ext.Score != want {
+				t.Fatalf("ExtendUngapped(%d,%d) = %d, want %d (table stride broken)", a, b, ext.Score, want)
+			}
+		}
+	}
+}

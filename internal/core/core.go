@@ -115,6 +115,11 @@ type Options struct {
 	Engine            Engine
 	RASC              RASCOptions
 	Workers           int // CPU engine parallelism; 0 = GOMAXPROCS
+	// Step2Kernel selects the CPU step-2 inner-loop implementation.
+	// The zero value (ungapped.KernelAuto) uses the blocked
+	// lane-parallel kernel whenever the matrix and window length fit
+	// its arithmetic bounds; results are bit-identical across kernels.
+	Step2Kernel ungapped.Kernel
 	// Pipeline tunes the streaming shard engine: shard size and how
 	// many shards each stage runs in flight. The zero value processes
 	// bank 0 as one shard, reproducing the batch path bit-identically.
@@ -270,6 +275,7 @@ func backendFor(opt *Options) (pipeline.Backend, error) {
 		Matrix:    opt.Matrix,
 		Threshold: opt.UngappedThreshold,
 		Workers:   opt.Workers,
+		Kernel:    opt.Step2Kernel,
 	}
 	switch opt.Engine {
 	case EngineCPU:
@@ -333,6 +339,7 @@ func CompareBatch(b0, b1 *bank.Bank, opt Options) (*Result, error) {
 			Matrix:    opt.Matrix,
 			Threshold: opt.UngappedThreshold,
 			Workers:   opt.Workers,
+			Kernel:    opt.Step2Kernel,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: step 2: %w", err)

@@ -11,6 +11,7 @@ import (
 	"seedblast/internal/index"
 	"seedblast/internal/matrix"
 	"seedblast/internal/pipeline"
+	"seedblast/internal/ungapped"
 )
 
 // DeviceTiming is the simulated accelerator timing for one
@@ -99,10 +100,16 @@ func Measure(w *Workload, opt MeasureOptions) (*Measurements, error) {
 	}
 	genomeIndexSec := time.Since(tGenome).Seconds()
 
+	// The paper's software baseline is the sequential scalar inner
+	// loop; pin it so the measured profile (Tables 1, 7) keeps the
+	// paper's shape regardless of what KernelAuto would pick. The
+	// blocked kernel's speedup is recorded separately (BENCH_0006,
+	// EXPERIMENTS.md "Step-2 blocked kernel").
 	eng, err := pipeline.New(pipeline.Config{}, &pipeline.CPUBackend{
 		Matrix:    matrix.BLOSUM62,
 		Threshold: w.Scale.Threshold,
 		Workers:   1,
+		Kernel:    ungapped.KernelScalar,
 	})
 	if err != nil {
 		return nil, err

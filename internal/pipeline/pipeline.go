@@ -134,6 +134,11 @@ type Metrics struct {
 	Step2           StageMetrics
 	Step3           StageMetrics
 	ShardsByBackend map[string]int // step-2 dispatch split (MultiBackend)
+	// ShardsByKernel counts CPU-scored shards by the step-2 kernel
+	// that actually ran ("scalar" or "blocked"), so kernel selection —
+	// including auto-resolution and its arithmetic-bound fallback — is
+	// observable per run. Accelerator shards are not counted here.
+	ShardsByKernel map[string]int
 	// MaxBufferedMatches is the peak number of alignments resident in
 	// the engine's shard buffers at any instant. On a materialized Run
 	// every shard's alignments stay buffered until assembly, so the peak
@@ -166,6 +171,12 @@ func (m *Metrics) Merge(o *Metrics) {
 			m.ShardsByBackend = make(map[string]int)
 		}
 		m.ShardsByBackend[k] += v
+	}
+	for k, v := range o.ShardsByKernel {
+		if m.ShardsByKernel == nil {
+			m.ShardsByKernel = make(map[string]int)
+		}
+		m.ShardsByKernel[k] += v
 	}
 }
 
@@ -386,6 +397,12 @@ func (e *Engine) run(pctx context.Context, req *Request, emit func([]gapped.Alig
 						met.ShardsByBackend = make(map[string]int)
 					}
 					met.ShardsByBackend[r.Backend]++
+				}
+				if r.Kernel != "" {
+					if met.ShardsByKernel == nil {
+						met.ShardsByKernel = make(map[string]int)
+					}
+					met.ShardsByKernel[r.Kernel]++
 				}
 				mu.Unlock()
 				select {

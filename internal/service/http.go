@@ -14,6 +14,7 @@ import (
 	"seedblast/internal/pipeline"
 	"seedblast/internal/stats"
 	"seedblast/internal/translate"
+	"seedblast/internal/ungapped"
 )
 
 // MaxRequestBytes bounds a submitted job body (banks are sent inline).
@@ -64,16 +65,20 @@ type SequenceJSON struct {
 // OptionsJSON is the wire form of the per-request option subset the
 // API exposes. Absent fields take the pipeline defaults.
 type OptionsJSON struct {
-	Engine        string   `json:"engine,omitempty"` // cpu (default), rasc, multi
-	N             *int     `json:"n,omitempty"`
-	Threshold     *int     `json:"threshold,omitempty"`
-	MaxEValue     *float64 `json:"maxEValue,omitempty"`
-	Traceback     bool     `json:"traceback,omitempty"`
-	Workers       int      `json:"workers,omitempty"`
-	ShardSize     int      `json:"shardSize,omitempty"`
-	InFlight      int      `json:"inFlight,omitempty"`
-	StreamWorkers int      `json:"streamWorkers,omitempty"`
-	GeneticCode   string   `json:"geneticCode,omitempty"`
+	Engine    string   `json:"engine,omitempty"` // cpu (default), rasc, multi
+	N         *int     `json:"n,omitempty"`
+	Threshold *int     `json:"threshold,omitempty"`
+	MaxEValue *float64 `json:"maxEValue,omitempty"`
+	Traceback bool     `json:"traceback,omitempty"`
+	Workers   int      `json:"workers,omitempty"`
+	// Kernel selects the CPU step-2 inner loop: "auto" (default),
+	// "scalar" or "blocked". Results are bit-identical across kernels;
+	// only throughput differs.
+	Kernel        string `json:"kernel,omitempty"`
+	ShardSize     int    `json:"shardSize,omitempty"`
+	InFlight      int    `json:"inFlight,omitempty"`
+	StreamWorkers int    `json:"streamWorkers,omitempty"`
+	GeneticCode   string `json:"geneticCode,omitempty"`
 	// SearchSpace is the volume context: when the submitted subject is
 	// one volume of a larger partitioned bank, the coordinator sets the
 	// full bank's geometry here so this worker's E-values (and the
@@ -178,6 +183,11 @@ func buildOptions(oj OptionsJSON) (core.Options, error) {
 	g.Traceback = oj.Traceback
 	opt.Gapped = g
 	opt.Workers = oj.Workers
+	kernel, err := ungapped.ParseKernel(oj.Kernel)
+	if err != nil {
+		return opt, err
+	}
+	opt.Step2Kernel = kernel
 	opt.Pipeline = pipeline.Config{
 		ShardSize:    oj.ShardSize,
 		InFlight:     oj.InFlight,

@@ -1,0 +1,21 @@
+//go:build !amd64
+
+package ungapped
+
+// hasAsmKernel: no architecture-specific group scanner on this GOARCH;
+// the blocked kernel uses the portable 4-lane SWAR pass.
+const hasAsmKernel = false
+
+// hasSSSE3 is never consulted when hasAsmKernel is false.
+const hasSSSE3 = false
+
+// The asm scanners are never called when hasAsmKernel is false; these
+// stubs keep the portable build compiling.
+
+func scanGroup16SSSE3(btab *uint8, w0 *byte, win *byte, subLen int, best *[ssse3Lanes]int16) {
+	panic("ungapped: asm kernel called on unsupported GOARCH")
+}
+
+func scanGroup8SSE(btab *uint8, w0 *byte, win *byte, subLen int, best *[asmLanes]int16) {
+	panic("ungapped: asm kernel called on unsupported GOARCH")
+}

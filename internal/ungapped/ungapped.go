@@ -30,14 +30,16 @@ type Hit struct {
 // Config parameterises the ungapped stage.
 type Config struct {
 	Matrix    *matrix.Matrix
-	Threshold int // minimal window score to survive
-	Workers   int // 0 means GOMAXPROCS
+	Threshold int    // minimal window score to survive
+	Workers   int    // 0 means GOMAXPROCS
+	Kernel    Kernel // inner-loop implementation (default KernelAuto)
 }
 
 // Result is the outcome of step 2.
 type Result struct {
-	Hits  []Hit
-	Pairs int64 // total K0×K1 pairs scored, the stage's work measure
+	Hits   []Hit
+	Pairs  int64  // total K0×K1 pairs scored, the stage's work measure
+	Kernel Kernel // the kernel that actually ran (never KernelAuto)
 }
 
 // Run executes step 2 over two indexes built with the same seed model
@@ -55,14 +57,11 @@ func Run(ix0, ix1 *index.Index, cfg Config) (*Result, error) {
 	if workers > space {
 		workers = space
 	}
+	kernel := cfg.Kernel.resolve(cfg.Matrix, ix0.SubLen())
 
 	// Static partition of the key space: each worker owns a contiguous
 	// chunk, appends hits locally, and chunks are concatenated in order,
 	// keeping the result deterministic.
-	type chunk struct {
-		hits  []Hit
-		pairs int64
-	}
 	chunks := make([]chunk, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -71,15 +70,22 @@ func Run(ix0, ix1 *index.Index, cfg Config) (*Result, error) {
 			defer wg.Done()
 			lo := space * w / workers
 			hi := space * (w + 1) / workers
-			chunks[w] = scanKeys(ix0, ix1, uint32(lo), uint32(hi), &cfg)
+			chunks[w] = scanKeys(ix0, ix1, uint32(lo), uint32(hi), &cfg, kernel)
 		}(w)
 	}
 	wg.Wait()
 
-	res := &Result{}
+	res := &Result{Kernel: kernel}
+	total := 0
+	for _, c := range chunks {
+		total += len(c.hits)
+		res.Pairs += c.pairs
+	}
+	// One exact allocation for the merged hits instead of growing by
+	// repeated append.
+	res.Hits = make([]Hit, 0, total)
 	for _, c := range chunks {
 		res.Hits = append(res.Hits, c.hits...)
-		res.Pairs += c.pairs
 	}
 	return res, nil
 }
@@ -103,22 +109,59 @@ func validate(ix0, ix1 *index.Index, cfg *Config) error {
 	return nil
 }
 
-// scanKeys runs the paper's nested loops over keys [lo, hi).
-func scanKeys(ix0, ix1 *index.Index, lo, hi uint32, cfg *Config) (c struct {
+// chunk is one worker's share of step 2: locally-appended hits plus
+// the pair count.
+type chunk struct {
 	hits  []Hit
 	pairs int64
-}) {
+}
+
+// scanKeys runs the paper's nested loops over keys [lo, hi) with the
+// resolved kernel (never KernelAuto).
+func scanKeys(ix0, ix1 *index.Index, lo, hi uint32, cfg *Config, kernel Kernel) (c chunk) {
 	subLen := ix0.SubLen()
+
+	// Pre-size the chunk's hit slice from a bucket-density estimate:
+	// the expected pair count for uniformly spread buckets is
+	// e0/space × e1/space pairs per key. With the paper's thresholds a
+	// small fraction of scored pairs survive, so 1/128 of that
+	// (clamped) avoids most of the append regrowth without
+	// overcommitting memory — and the O(1) estimate keeps the hot
+	// per-op path free of an extra pass over the key space.
+	space := int64(ix0.Model().KeySpace())
+	chunkPairs := int64(ix0.NumEntries()) * int64(ix1.NumEntries()) / space
+	chunkPairs = chunkPairs * int64(hi-lo) / space
+	if chunkPairs > 0 {
+		est := chunkPairs / 128
+		if est < 16 {
+			est = 16
+		}
+		if est > 1<<20 {
+			est = 1 << 20
+		}
+		c.hits = make([]Hit, 0, est)
+	}
+
+	var ks *blockedScratch
+	if kernel == KernelBlocked {
+		ks = newBlockedScratch(cfg.Matrix, subLen, cfg.Threshold)
+	}
+
 	for k := lo; k < hi; k++ {
+		// Length-only probes first: most keys have an empty side, and
+		// skipping them avoids materialising both bucket views.
+		if ix0.BucketLen(k) == 0 || ix1.BucketLen(k) == 0 {
+			continue
+		}
 		il0, hood0 := ix0.Bucket(k)
-		if len(il0) == 0 {
-			continue
-		}
 		il1, hood1 := ix1.Bucket(k)
-		if len(il1) == 0 {
+		c.pairs += int64(len(il0)) * int64(len(il1))
+		if ks != nil && len(il1) >= ks.minIL1 {
+			ks.scanBucket(k, il0, hood0, il1, hood1, &c.hits)
 			continue
 		}
-		c.pairs += int64(len(il0)) * int64(len(il1))
+		// Scalar reference path; also used by the blocked kernel for
+		// small buckets where lane occupancy would be poor.
 		for i := range il0 {
 			w0 := hood0[i*subLen : (i+1)*subLen]
 			for j := range il1 {

@@ -12,6 +12,7 @@ import (
 	"seedblast/internal/gapped"
 	"seedblast/internal/stats"
 	"seedblast/internal/translate"
+	"seedblast/internal/ungapped"
 )
 
 // Compile-time exhaustiveness gate for the v2 facade: every exported
@@ -61,6 +62,10 @@ var (
 	_ func(seedblast.Engine) seedblast.Option         = seedblast.WithEngine
 	_ func(seedblast.RASCOptions) seedblast.Option    = seedblast.WithRASC
 	_ func(int) seedblast.Option                      = seedblast.WithWorkers
+	_ func(seedblast.Kernel) seedblast.Option         = seedblast.WithStep2Kernel
+	_ ungapped.Kernel                                 = seedblast.KernelBlocked
+	_ seedblast.Kernel                                = ungapped.KernelScalar
+	_ func(string) (seedblast.Kernel, error)          = seedblast.ParseKernel
 	_ func(seedblast.PipelineConfig) seedblast.Option = seedblast.WithPipeline
 	_ func(seedblast.GappedConfig) seedblast.Option   = seedblast.WithGapped
 	_ func(float64) seedblast.Option                  = seedblast.WithMaxEValue
