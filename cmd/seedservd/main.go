@@ -58,6 +58,7 @@ func main() {
 		MaxJobsRetained: *maxJobs,
 		JobTTL:          *jobTTL,
 		MaxQueued:       *maxQueued,
+		Logf:            log.Printf,
 	})
 	for _, path := range strings.Split(*dbPaths, ",") {
 		if path = strings.TrimSpace(path); path == "" {

@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CtxSelect enforces the engine's goroutine cancellation discipline
+// (PRs 1–3): inside the concurrency-bearing packages (pipeline,
+// cluster, service, ungapped), a goroutine that sends on a channel
+// must not be able to block forever once the request is abandoned.
+// A send is acceptable when it
+//
+//   - sits in a select with a <-ctx.Done() (or done/stop/quit channel)
+//     case, so cancellation unblocks it;
+//   - targets a channel this same goroutine closes — the goroutine is
+//     the channel's owning producer; or
+//   - targets a function-local channel made with capacity len(...) or
+//     cap(...) of the work list — sized to the total number of sends,
+//     so the send can never block (the pipeline's ordered emitter).
+//
+// Anything else is the goroutine-leak shape that deadlocks
+// scatter-gather under cancellation: a worker parked on a bounded
+// channel nobody drains after the consumer bailed out.
+var CtxSelect = &Analyzer{
+	Name: "ctxselect",
+	Doc: "goroutines in pipeline/cluster/service/ungapped must keep channel sends cancellable: " +
+		"select on ctx.Done(), own (close) the channel, or send on a workload-sized buffer",
+	Run: runCtxSelect,
+}
+
+// ctxSelectPackages are the path segments naming the packages under
+// this discipline.
+var ctxSelectPackages = map[string]bool{
+	"pipeline": true,
+	"cluster":  true,
+	"service":  true,
+	"ungapped": true,
+}
+
+func inCtxSelectScope(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if ctxSelectPackages[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxSelect(pass *Pass) error {
+	if !inCtxSelectScope(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Channel capacities by name within this one function, so
+			// goroutines see the channels their parent function made and
+			// same-named channels in other functions don't collide.
+			caps := chanCapacities(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				checkGoroutineSends(pass, lit, caps)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// chanCapacities maps channel variable names within one function body
+// to whether their make() capacity is workload-sized. Shadowing
+// collisions are resolved pessimistically: a name made both
+// workload-sized and bounded in the same function is treated as
+// bounded.
+func chanCapacities(body ast.Node) map[string]bool {
+	sized := make(map[string]bool) // name → capacity is len(...)/cap(...) everywhere
+	seen := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
+				continue
+			}
+			if len(call.Args) == 0 {
+				continue
+			}
+			if _, ok := call.Args[0].(*ast.ChanType); !ok {
+				continue
+			}
+			lhs := as.Lhs[0]
+			if len(as.Lhs) == len(as.Rhs) {
+				lhs = as.Lhs[i]
+			}
+			name, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			isSized := false
+			if len(call.Args) == 2 {
+				if capCall, ok := call.Args[1].(*ast.CallExpr); ok {
+					if fn, ok := capCall.Fun.(*ast.Ident); ok && (fn.Name == "len" || fn.Name == "cap") {
+						isSized = true
+					}
+				}
+			}
+			if seen[name.Name] {
+				sized[name.Name] = sized[name.Name] && isSized
+			} else {
+				seen[name.Name] = true
+				sized[name.Name] = isSized
+			}
+		}
+		return true
+	})
+	return sized
+}
+
+// checkGoroutineSends walks one go-routine literal for sends that can
+// block past cancellation.
+func checkGoroutineSends(pass *Pass, lit *ast.FuncLit, sized map[string]bool) {
+	closed := channelsClosedBy(lit)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			// A nested goroutine is its own obligation; the outer walk
+			// finds it separately.
+			return false
+		case *ast.SelectStmt:
+			if selectHasCancelCase(x) {
+				// Every send inside a cancellable select is fine; still
+				// descend into case bodies for follow-on sends.
+				for _, c := range x.Body.List {
+					cc := c.(*ast.CommClause)
+					for _, s := range cc.Body {
+						ast.Inspect(s, walk)
+					}
+				}
+				return false
+			}
+		case *ast.SendStmt:
+			if name := chanName(x.Chan); name != "" {
+				if closed[name] {
+					return true // goroutine owns the channel
+				}
+				if sized[name] {
+					return true // workload-sized buffer: sends never block
+				}
+			}
+			pass.Reportf(x.Pos(), "goroutine sends on %s without selecting on ctx.Done(); a cancelled consumer leaks this worker", chanLabel(x.Chan))
+		}
+		return true
+	}
+	ast.Inspect(lit.Body, walk)
+}
+
+// channelsClosedBy collects channel names the literal itself closes
+// (directly or deferred).
+func channelsClosedBy(lit *ast.FuncLit) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+			if name := chanName(call.Args[0]); name != "" {
+				out[name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// selectHasCancelCase reports whether the select has a receive case
+// from a cancellation source: <-x.Done(), or a channel whose name
+// suggests shutdown (done, stop, quit, closing).
+func selectHasCancelCase(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true // default clause: the select never blocks
+		}
+		var recv ast.Expr
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = s.X
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				recv = s.Rhs[0]
+			}
+		}
+		un, ok := recv.(*ast.UnaryExpr)
+		if !ok || un.Op != token.ARROW {
+			continue
+		}
+		switch src := un.X.(type) {
+		case *ast.CallExpr:
+			if sel, ok := src.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				return true
+			}
+		default:
+			name := strings.ToLower(chanName(un.X))
+			for _, hint := range []string{"done", "stop", "quit", "closing"} {
+				if strings.Contains(name, hint) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// chanName extracts a best-effort name for a channel expression.
+func chanName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+// chanLabel renders the channel expression for a diagnostic.
+func chanLabel(e ast.Expr) string {
+	if name := chanName(e); name != "" {
+		return "channel " + name
+	}
+	return "a channel"
+}

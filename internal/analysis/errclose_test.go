@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"seedblast/internal/analysis"
+	"seedblast/internal/analysis/analysistest"
+)
+
+func TestErrClose(t *testing.T) {
+	analysistest.Run(t, analysis.ErrClose, "errclose/a")
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"seedblast/internal/analysis"
+	"seedblast/internal/analysis/analysistest"
+)
+
+func TestKernelParity(t *testing.T) {
+	analysistest.Run(t, analysis.KernelParity, "kernelparity/good", "kernelparity/bad")
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// OptClone enforces the copy-on-write contract on option setters: a
+// With* setter configures a fresh Options value (the Searcher applies
+// options over a private copy of DefaultOptions), so writing *through*
+// a map or slice already reachable from the receiver mutates every
+// other Options that shares the backing store — including the package
+// defaults. Wholesale replacement (o.X = v) is the documented idiom;
+// in-place element writes, append-in-place, delete, clear, and copy
+// into receiver-reachable containers are the bug.
+//
+// The analyzer applies to functions named With* that configure an
+// options value: methods on an Options-typed receiver, and the
+// functional-option form — a With* constructor returning a closure
+// whose parameter is Options-typed.
+var OptClone = &Analyzer{
+	Name: "optclone",
+	Doc: "With* option setters must not mutate receiver-reachable maps/slices in place; " +
+		"replace wholesale or clone before writing (copy-on-write contract)",
+	Run: runOptClone,
+}
+
+func runOptClone(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !strings.HasPrefix(fd.Name.Name, "With") || fd.Body == nil {
+				continue
+			}
+			// Method form: receiver of an Options-ish type.
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				if name, ok := optionsParam(fd.Recv.List[0]); ok {
+					checkSetterBody(pass, fd.Body, name)
+				}
+			}
+			// Functional-option form: closures with an Options-typed
+			// parameter anywhere inside the constructor.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				for _, f := range lit.Type.Params.List {
+					if name, ok := optionsParam(f); ok {
+						checkSetterBody(pass, lit.Body, name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// optionsParam reports the bound name of a field whose type names an
+// Options struct (Options, *Options, core.Options, ...).
+func optionsParam(f *ast.Field) (string, bool) {
+	if len(f.Names) != 1 {
+		return "", false
+	}
+	t := f.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	name := ""
+	switch x := t.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	}
+	if strings.HasSuffix(name, "Options") {
+		return f.Names[0].Name, true
+	}
+	return "", false
+}
+
+// checkSetterBody flags in-place mutations of containers reachable
+// from recv inside one setter body.
+func checkSetterBody(pass *Pass, body *ast.BlockStmt, recv string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				// o.X[k] = v (also o.X[i].Y = v): an element write into
+				// a shared container.
+				if idx := indexedThrough(lhs, recv); idx != nil {
+					pass.Reportf(x.Pos(), "With* setter writes element of %s in place; shared Options see the mutation — clone the container first", renderExpr(idx))
+					continue
+				}
+				// o.X = append(o.X, ...): append into the shared
+				// backing array.
+				rhs := x.Rhs[0]
+				if len(x.Rhs) == len(x.Lhs) {
+					rhs = x.Rhs[i]
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" && len(call.Args) > 0 {
+						if receiverRooted(call.Args[0], recv) {
+							pass.Reportf(x.Pos(), "With* setter appends to %s in place; a shared backing array aliases the write — append to a clone", renderExpr(call.Args[0]))
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if fn, ok := x.Fun.(*ast.Ident); ok && len(x.Args) > 0 && receiverRooted(x.Args[0], recv) {
+				switch fn.Name {
+				case "delete", "clear":
+					pass.Reportf(x.Pos(), "With* setter calls %s on receiver-reachable %s; shared Options see the mutation — clone first", fn.Name, renderExpr(x.Args[0]))
+				case "copy":
+					pass.Reportf(x.Pos(), "With* setter copies into receiver-reachable %s; shared Options see the mutation — allocate a fresh slice", renderExpr(x.Args[0]))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// indexedThrough returns the container expression when e writes
+// through an index rooted at recv (o.X[k], o.X[i].Y), or nil.
+func indexedThrough(e ast.Expr, recv string) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			if receiverRooted(x.X, recv) {
+				return x.X
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// receiverRooted reports whether e is a plain selector chain rooted at
+// recv (o.X, o.X.Y) — not a call result, which would be a fresh value.
+func receiverRooted(e ast.Expr, recv string) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name == recv
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// renderExpr prints a short label for a selector chain.
+func renderExpr(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return renderExpr(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return renderExpr(x.X) + "[...]"
+	}
+	return "container"
+}

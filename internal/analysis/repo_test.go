@@ -1,0 +1,29 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"seedblast/internal/analysis"
+)
+
+// TestRepoIsClean runs every analyzer over the repository itself: the
+// tree must stay warning-free so seedlint can gate CI at exit 0.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads every package via go list")
+	}
+	pkgs, err := analysis.LoadPackages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("go list returned no packages")
+	}
+	findings, err := analysis.RunAll(analysis.Analyzers, pkgs)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -1,0 +1,83 @@
+// Package a exercises the errclose analyzer: Close errors on writable
+// or mmap-backed resources (and response bodies) carry information
+// and must not be dropped on the floor.
+package a
+
+import (
+	"net/http"
+	"os"
+
+	"seedblast/internal/index"
+)
+
+// writeLog drops the close error on its failure path: the write error
+// wins, but silently.
+func writeLog(path string, lines []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(lines); err != nil {
+		f.Close() // want "writable file"
+		return err
+	}
+	return f.Close()
+}
+
+// churn drops a munmap failure.
+func churn(path string) {
+	ix, err := index.Open(path)
+	if err != nil {
+		return
+	}
+	ix.Close() // want "mmap-backed index"
+}
+
+// fetch drops the body close error.
+func fetch(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close() // want "response body"
+	return nil
+}
+
+// readOnly closes a read-only file: its close error is noise, exempt.
+func readOnly(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	f.Close()
+}
+
+// deliberate discards the error visibly, with the reason on record.
+func deliberate(path string) {
+	ix, err := index.Open(path)
+	if err != nil {
+		return
+	}
+	// Inspection only: nothing was written and the caller retries the
+	// open on the next cycle, so a munmap failure has no consumer.
+	_ = ix.Close()
+}
+
+// deferred closes are the caller's idiom for read paths: exempt.
+func deferred(path string) error {
+	ix, err := index.Open(path)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	return nil
+}
+
+// waived carries a reviewed exemption via directive.
+func waived(path string) {
+	ix, err := index.Open(path)
+	if err != nil {
+		return
+	}
+	ix.Close() //seedlint:allow errclose -- exercises the waiver path
+}

@@ -1,0 +1,23 @@
+// Package kernels is the drifted split-kernel fixture: the shared
+// dispatcher depends on names the two variants no longer agree on.
+package kernels
+
+func scan(btab *uint8, n int) int32 {
+	if hasAsm {
+		var out [8]int32
+		scanGroup(btab, n, &out)
+		return out[0]
+	}
+	return scanPortable(btab, n)
+}
+
+func scanPortable(btab *uint8, n int) int32 {
+	_ = btab
+	return int32(n)
+}
+
+// useArch drags archOnly into the shared dispatch surface, so the
+// noasm build would fail to compile.
+func useArch() int32 {
+	return archOnly()
+}

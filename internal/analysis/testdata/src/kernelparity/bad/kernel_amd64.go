@@ -1,0 +1,10 @@
+package kernels
+
+const hasAsm = true
+
+//go:noescape
+func scanGroup(btab *uint8, n int32, out *[8]int32) // want "signature drifted"
+
+func missingSym() // want "no TEXT"
+
+func archOnly() int32 { return 2 } // want "declared only in kernel_amd64.go"

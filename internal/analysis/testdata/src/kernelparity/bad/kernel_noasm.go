@@ -1,0 +1,14 @@
+//go:build ignore
+
+package kernels // want "does not exclude amd64"
+
+const hasAsm = false
+
+const noasmOnly = 7 // want "missing from kernel_amd64.go"
+
+func scanGroup(btab *uint8, n int, out *[8]int32) {
+	_ = btab
+	_ = n
+	_ = out
+	panic("kernels: asm kernel called on unsupported GOARCH")
+}

@@ -1,0 +1,20 @@
+// Package kernels is a conforming split-kernel fixture: the amd64 and
+// noasm variants declare the same dispatch surface with identical
+// signatures, and every assembly declaration has a TEXT symbol.
+package kernels
+
+const lanes = 8
+
+func scan(btab *uint8, n int) int32 {
+	if hasAsm {
+		var out [lanes]int32
+		scanGroup(btab, n, &out)
+		return out[0]
+	}
+	return scanPortable(btab, n)
+}
+
+func scanPortable(btab *uint8, n int) int32 {
+	_ = btab
+	return int32(n)
+}

@@ -1,0 +1,10 @@
+package kernels
+
+const hasAsm = true
+
+// cpuidHelper is arch-only scaffolding: exempt from parity while no
+// shared file references it.
+func cpuidHelper() bool
+
+//go:noescape
+func scanGroup(btab *uint8, n int, out *[lanes]int32)

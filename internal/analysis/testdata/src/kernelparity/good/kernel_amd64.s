@@ -1,0 +1,7 @@
+// Fixture assembly: symbol shells only, never assembled.
+
+TEXT ·scanGroup(SB), 4, $0-32
+	RET
+
+TEXT ·cpuidHelper(SB), 4, $0-1
+	RET

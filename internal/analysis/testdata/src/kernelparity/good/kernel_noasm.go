@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package kernels
+
+const hasAsm = false
+
+func scanGroup(btab *uint8, n int, out *[lanes]int32) {
+	_ = btab
+	_ = n
+	_ = out
+	panic("kernels: asm kernel called on unsupported GOARCH")
+}

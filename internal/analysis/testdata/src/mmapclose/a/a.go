@@ -1,0 +1,114 @@
+// Package a exercises the mmapclose analyzer: every index.Open /
+// core.OpenTarget result aliases a file mapping and must reach Close
+// on all paths or visibly leave the opening function.
+package a
+
+import (
+	"fmt"
+
+	"seedblast/internal/core"
+	"seedblast/internal/index"
+)
+
+type holder struct {
+	ix *index.Index
+}
+
+// leakNeverClosed opens and forgets the mapping.
+func leakNeverClosed(path string) int {
+	ix, err := index.Open(path) // want "never closed"
+	if err != nil {
+		return 0
+	}
+	return ix.SubLen()
+}
+
+// discarded drops the handle on the floor.
+func discarded(path string) {
+	_, _ = index.Open(path) // want "discarded"
+}
+
+// leakOnReturn closes the happy path but leaks the strict branch.
+func leakOnReturn(path string, strict bool) error {
+	ix, err := index.Open(path)
+	if err != nil {
+		return err
+	}
+	if strict {
+		return fmt.Errorf("strict mode rejects %s", path) // want "return leaks ix"
+	}
+	return ix.Close()
+}
+
+// stashWithoutMarker parks the mapping in a field nobody promised to
+// close.
+func (h *holder) stashWithoutMarker(path string) error {
+	ix, err := index.Open(path)
+	if err != nil {
+		return err
+	}
+	h.ix = ix // want "outlives this function"
+	return nil
+}
+
+// stashWithMarker names the owner, discharging the obligation.
+func (h *holder) stashWithMarker(path string) error {
+	ix, err := index.Open(path)
+	if err != nil {
+		return err
+	}
+	//seedlint:owns -- released by (*holder).close
+	h.ix = ix
+	return nil
+}
+
+// deferredClose is the canonical local use.
+func deferredClose(path string) (int, error) {
+	ix, err := index.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer ix.Close()
+	return ix.SubLen(), nil
+}
+
+// handoff returns the opened target; the caller owns it.
+func handoff(path string) (*core.ProteinTarget, error) {
+	t, err := core.OpenTarget(path)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// transfer hands the index to another component.
+func transfer(path string, sink func(*index.Index)) error {
+	ix, err := index.Open(path)
+	if err != nil {
+		return err
+	}
+	sink(ix)
+	return nil
+}
+
+// closeEveryBranch closes explicitly on each path, no defer.
+func closeEveryBranch(path string, strict bool) error {
+	ix, err := index.Open(path)
+	if err != nil {
+		return err
+	}
+	if strict {
+		ix.Close()
+		return fmt.Errorf("strict mode rejects %s", path)
+	}
+	return ix.Close()
+}
+
+// waived carries a reviewed exemption.
+func waived(path string) int {
+	ix, err := index.Open(path) //seedlint:allow mmapclose -- process-lifetime mapping, released at exit
+	if err != nil {
+		return 0
+	}
+	return ix.SubLen()
+}

@@ -1,0 +1,72 @@
+// Package a exercises the optclone analyzer: With* setters configure
+// a value that may share maps and slices with other Options (the
+// defaults included), so in-place container mutation is the bug and
+// wholesale replacement is the idiom.
+package a
+
+// Options is the fixture's option set.
+type Options struct {
+	Labels map[string]string
+	Hosts  []string
+	Limit  int
+}
+
+// Option is the functional-option form.
+type Option func(*Options) error
+
+// WithLabel writes through the shared map.
+func WithLabel(k, v string) Option {
+	return func(o *Options) error {
+		o.Labels[k] = v // want "writes element of o.Labels in place"
+		return nil
+	}
+}
+
+// WithHost appends into the shared backing array.
+func WithHost(h string) Option {
+	return func(o *Options) error {
+		o.Hosts = append(o.Hosts, h) // want "appends to o.Hosts in place"
+		return nil
+	}
+}
+
+// WithoutLabel deletes from the shared map.
+func WithoutLabel(k string) Option {
+	return func(o *Options) error {
+		delete(o.Labels, k) // want "delete on receiver-reachable o.Labels"
+		return nil
+	}
+}
+
+// WithLimit replaces a scalar wholesale: the documented idiom.
+func WithLimit(n int) Option {
+	return func(o *Options) error {
+		o.Limit = n
+		return nil
+	}
+}
+
+// WithLabelCloned copies before writing: clean.
+func WithLabelCloned(k, v string) Option {
+	return func(o *Options) error {
+		m := make(map[string]string, len(o.Labels)+1)
+		for kk, vv := range o.Labels {
+			m[kk] = vv
+		}
+		m[k] = v
+		o.Labels = m
+		return nil
+	}
+}
+
+// WithHostInPlace is the method form of the same append bug.
+func (o *Options) WithHostInPlace(h string) *Options {
+	o.Hosts = append(o.Hosts, h) // want "appends to o.Hosts in place"
+	return o
+}
+
+// WithHostsReplaced swaps the whole slice: clean.
+func (o *Options) WithHostsReplaced(hs []string) *Options {
+	o.Hosts = hs
+	return o
+}

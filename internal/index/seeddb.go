@@ -196,7 +196,9 @@ func (ix *Index) WriteFile(path string) error {
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := ix.WriteTo(tmp); err != nil {
-		tmp.Close()
+		// The write already failed; that error is the one to report.
+		// The deferred remove reclaims the temp file either way.
+		_ = tmp.Close()
 		return fmt.Errorf("index: writing %s: %w", path, err)
 	}
 	if err := tmp.Close(); err != nil {

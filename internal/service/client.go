@@ -183,7 +183,7 @@ func (c *Client) StreamAlignments(ctx context.Context, id string) iter.Seq2[Alig
 			yield(AlignmentJSON{}, err)
 			return
 		}
-		defer resp.Body.Close()
+		defer drainClose(resp.Body) // drained even when the consumer stops early, so the stream connection is reused
 		dec := json.NewDecoder(resp.Body)
 		array := strings.Contains(resp.Header.Get("Content-Type"), "application/json")
 		if array {
@@ -297,10 +297,27 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if resp.StatusCode >= 300 {
 		apiErr := &APIError{StatusCode: resp.StatusCode, Message: readError(resp.Body)}
-		resp.Body.Close()
+		drainClose(resp.Body)
 		return nil, resp.StatusCode >= 500, apiErr
 	}
 	return resp, false, nil
+}
+
+// drainLimit caps how much of an abandoned response body drainClose
+// will read through: past this, resetting the connection is cheaper
+// than consuming the remainder just to reuse it.
+const drainLimit = 256 << 10
+
+// drainClose discards any unread remainder of a response body and
+// closes it. Draining matters: the transport only reuses a keep-alive
+// connection whose body was read to EOF — closing early tears it down
+// and the next request pays a fresh dial. The close error is
+// deliberately discarded; after a drain there is nothing left for it
+// to say, and every caller is already on an error path or done with
+// the response.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, drainLimit))
+	_ = body.Close()
 }
 
 // sleepBackoff waits out one retry delay, doubling it in place.
@@ -347,12 +364,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, retry
 			continue
 		}
 		if out == nil {
-			_, _ = io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+			drainClose(resp.Body)
 			return nil
 		}
 		err = json.NewDecoder(resp.Body).Decode(out)
-		resp.Body.Close()
+		drainClose(resp.Body) // the decoder may leave trailing bytes buffered
 		if err != nil {
 			lastErr = fmt.Errorf("service: decoding response: %w", err)
 			continue // a truncated body is transient; retry when allowed

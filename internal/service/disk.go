@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -64,8 +65,13 @@ func (s *Service) PreloadDB(path string) (string, error) {
 		return "", err
 	}
 	if got := ix.Fingerprint(); got != fp {
-		ix.Close()
-		return "", fmt.Errorf("service: %s: loaded fingerprint %.24s… does not match header stamp %.24s…", path, got, fp)
+		err := fmt.Errorf("service: %s: loaded fingerprint %.24s… does not match header stamp %.24s…", path, got, fp)
+		if cerr := ix.Close(); cerr != nil {
+			// A failed munmap leaks address space; join it so the
+			// caller sees both failures.
+			err = errors.Join(err, cerr)
+		}
+		return "", err
 	}
 	s.cache.put(fp, ix)
 	return fp, nil
@@ -88,8 +94,12 @@ func (s *Service) loadFromDisk(fingerprint string) (*index.Index, bool) {
 	if ix.Fingerprint() != fingerprint {
 		// The file changed since registration; its stamp no longer
 		// matches the requested key. Rebuild rather than serve another
-		// bank's index.
-		ix.Close()
+		// bank's index — but a failed munmap of the stale mapping
+		// must not stay invisible: it leaks address space on every
+		// churned load.
+		if cerr := ix.Close(); cerr != nil {
+			s.logf("service: closing stale seeddb %s: %v", path, cerr)
+		}
 		return nil, false
 	}
 	s.cache.diskLoad()

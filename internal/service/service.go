@@ -67,6 +67,11 @@ type Config struct {
 	// request). Zero means JobTTL/2, clamped to [1s, 1min]; negative
 	// disables the sweeper (pruning still happens on access).
 	SweepInterval time.Duration
+	// Logf, when set, receives operational events the service cannot
+	// surface through a request's error — e.g. a failed munmap while
+	// discarding a stale disk-registry index. Nil discards them;
+	// daemons wire it to their logger.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +94,13 @@ func (c Config) withDefaults() Config {
 		c.SweepInterval = DefaultSweepInterval(c.JobTTL)
 	}
 	return c
+}
+
+// logf reports an operational event through the configured hook.
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 // DefaultSweepInterval derives a job-store sweep cadence from a TTL:

@@ -1,0 +1,40 @@
+package seedblast_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestSeedlintSmoke builds cmd/seedlint and runs it over the whole
+// repository: the tree must stay warning-free (exit 0, no output), so
+// the lint job in CI never breaks on a clean checkout.
+func TestSeedlintSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cmd smoke tests in -short mode")
+	}
+	bin := buildTool(t, "cmd/seedlint")
+
+	out := run(t, bin, "./...")
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("seedlint ./... reported findings on a clean tree:\n%s", out)
+	}
+
+	// -list enumerates the analyzers; pin the full set so dropping one
+	// from the registry is caught.
+	out = run(t, bin, "-list")
+	for _, name := range []string{"mmapclose", "ctxselect", "kernelparity", "optclone", "errclose"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("seedlint -list missing analyzer %q:\n%s", name, out)
+		}
+	}
+
+	// The vet-tool handshake: go vet probes -V=full before anything else.
+	vOut, err := exec.Command(bin, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("seedlint -V=full: %v\n%s", err, vOut)
+	}
+	if !strings.HasPrefix(string(vOut), "seedlint version ") || !strings.Contains(string(vOut), "buildID=") {
+		t.Errorf("seedlint -V=full output %q is not a vettool version line", vOut)
+	}
+}
