@@ -15,11 +15,11 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"testing"
 	"time"
 
 	"seedblast/internal/bank"
+	"seedblast/internal/benchfmt"
 	"seedblast/internal/core"
 	"seedblast/internal/index"
 	"seedblast/internal/matrix"
@@ -55,18 +55,16 @@ type StreamSample struct {
 	Kernel         string  `json:"kernel"` // kernel the CPU shards resolved to
 }
 
-// Record is the file layout of a BENCH_NNNN.json.
+// Record is the file layout of a benchrec BENCH_NNNN.json
+// (benchfmt.SchemaBench; the schema is documented in EXPERIMENTS.md).
 type Record struct {
-	ID        string         `json:"id"`
-	Date      string         `json:"date"`
-	GoVersion string         `json:"goVersion"`
-	GOOS      string         `json:"goos"`
-	GOARCH    string         `json:"goarch"`
-	NumCPU    int            `json:"numCPU"`
-	Workload  string         `json:"workload"`
-	Kernels   []KernelSample `json:"kernels"`
-	Speedups  []Speedup      `json:"speedups"`
-	Stream    StreamSample   `json:"stream"`
+	Schema     string              `json:"schema"`
+	ID         string              `json:"id"`
+	Provenance benchfmt.Provenance `json:"provenance"`
+	Workload   string              `json:"workload"`
+	Kernels    []KernelSample      `json:"kernels"`
+	Speedups   []Speedup           `json:"speedups"`
+	Stream     StreamSample        `json:"stream"`
 }
 
 func main() {
@@ -88,12 +86,9 @@ func main() {
 	flag.Parse()
 
 	rec := Record{
-		ID:        *id,
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		Schema:     benchfmt.SchemaBench,
+		ID:         *id,
+		Provenance: benchfmt.Collect(),
 		Workload: fmt.Sprintf("%d×%daa queries vs %d×%daa subjects, W=4 subset seed, BLOSUM62, T=38",
 			*n0, *l0, *n1, *l1),
 	}

@@ -33,6 +33,8 @@
 //	curl -s localhost:8844/v1/jobs/cjob-1
 //	curl -s localhost:8844/v1/jobs/cjob-1/alignments
 //	curl -sN localhost:8844/v1/jobs/cjob-1/alignments?stream=1
+//	curl -s localhost:8844/v1/jobs/cjob-1/trace
+//	curl -s localhost:8844/metrics
 //	curl -s localhost:8844/cluster/metrics
 package main
 
@@ -40,7 +42,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,12 +50,10 @@ import (
 	"time"
 
 	"seedblast/internal/cluster"
+	"seedblast/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("seedclusterd: ")
-
 	var (
 		addr        = flag.String("addr", ":8844", "listen address")
 		workers     = flag.String("workers", "", "comma-separated seedservd base URLs (required)")
@@ -66,16 +66,24 @@ func main() {
 		jobTTL      = flag.Duration("job-ttl", 15*time.Minute, "finished jobs expire after this age (negative disables)")
 		maxQueued   = flag.Int("max-queued", 1024, "unfinished jobs accepted before submissions get 503")
 		waitWorkers = flag.Duration("wait-workers", 0, "wait up to this long for all workers to report healthy before serving")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (own listener, kept off the public API; empty disables)")
+		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
 
+	logger := newLogger(*logJSON)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	urls := splitWorkers(*workers)
 	if len(urls) == 0 {
-		log.Fatal("at least one -workers URL is required")
+		fatal("at least one -workers URL is required")
 	}
 	part, err := cluster.PartitionerByName(*strategy)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad -strategy", "err", err)
 	}
 	coord, err := cluster.New(cluster.Config{
 		Workers:      urls,
@@ -86,15 +94,22 @@ func main() {
 		PollInterval: *poll,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("coordinator setup failed", "err", err)
 	}
 	if *waitWorkers > 0 {
 		wctx, wcancel := context.WithTimeout(context.Background(), *waitWorkers)
 		err := coord.WaitHealthy(wctx)
 		wcancel()
 		if err != nil {
-			log.Fatal(err)
+			fatal("workers not healthy", "err", err)
 		}
+	}
+	if *pprofAddr != "" {
+		bound, err := telemetry.StartPprof(*pprofAddr, logger)
+		if err != nil {
+			fatal("pprof listener failed", "addr", *pprofAddr, "err", err)
+		}
+		logger.Info("pprof listening", "addr", bound)
 	}
 
 	server := cluster.NewServer(coord, cluster.ServerConfig{MaxJobsRetained: *maxJobs, JobTTL: *jobTTL, MaxQueued: *maxQueued})
@@ -109,17 +124,29 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		log.Print("shutting down")
+		logger.Info("shutting down")
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(sctx)
 	}()
 
-	log.Printf("listening on %s (workers=%d strategy=%s volumes=%d)",
-		*addr, len(urls), part.Name(), coord.Config().Volumes)
+	logger.Info("listening", "addr", *addr,
+		"workers", len(urls), "strategy", part.Name(), "volumes", coord.Config().Volumes)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("serve failed", "err", err)
 	}
+}
+
+// newLogger builds the daemon's structured logger: text for humans at
+// a terminal, JSON when a collector ingests the stream.
+func newLogger(json bool) *slog.Logger {
+	var h slog.Handler
+	if json {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	return slog.New(h).With("daemon", "seedclusterd")
 }
 
 func splitWorkers(s string) []string {

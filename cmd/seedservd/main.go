@@ -27,7 +27,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,12 +35,10 @@ import (
 	"time"
 
 	"seedblast/internal/service"
+	"seedblast/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("seedservd: ")
-
 	var (
 		addr          = flag.String("addr", ":8844", "listen address")
 		maxConcurrent = flag.Int("max-concurrent", 2, "comparisons admitted at once (worker pool size)")
@@ -49,8 +47,16 @@ func main() {
 		jobTTL        = flag.Duration("job-ttl", 15*time.Minute, "finished jobs expire after this age (negative disables)")
 		maxQueued     = flag.Int("max-queued", 1024, "unfinished jobs accepted before submissions are rejected")
 		dbPaths       = flag.String("db", "", "comma-separated seeddb files (cmd/seeddb) to pre-warm the subject-index cache with; cache misses for their fingerprints reload from disk instead of rebuilding")
+		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (own listener, kept off the public API; empty disables)")
+		logJSON       = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	logger := newLogger(*logJSON)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	svc := service.New(service.Config{
 		MaxConcurrent:   *maxConcurrent,
@@ -58,7 +64,7 @@ func main() {
 		MaxJobsRetained: *maxJobs,
 		JobTTL:          *jobTTL,
 		MaxQueued:       *maxQueued,
-		Logf:            log.Printf,
+		Logger:          logger,
 	})
 	for _, path := range strings.Split(*dbPaths, ",") {
 		if path = strings.TrimSpace(path); path == "" {
@@ -66,9 +72,16 @@ func main() {
 		}
 		fp, err := svc.PreloadDB(path)
 		if err != nil {
-			log.Fatalf("-db %s: %v", path, err)
+			fatal("preload failed", "path", path, "err", err)
 		}
-		log.Printf("preloaded %s (fingerprint %.16s…)", path, fp)
+		logger.Info("preloaded seeddb", "path", path, "fingerprint", fp[:16])
+	}
+	if *pprofAddr != "" {
+		bound, err := telemetry.StartPprof(*pprofAddr, logger)
+		if err != nil {
+			fatal("pprof listener failed", "addr", *pprofAddr, "err", err)
+		}
+		logger.Info("pprof listening", "addr", bound)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -80,16 +93,28 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		log.Print("shutting down")
+		logger.Info("shutting down")
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(sctx)
 	}()
 
-	log.Printf("listening on %s (max-concurrent=%d cache-entries=%d)",
-		*addr, svc.Config().MaxConcurrent, svc.Config().CacheEntries)
+	logger.Info("listening", "addr", *addr,
+		"maxConcurrent", svc.Config().MaxConcurrent, "cacheEntries", svc.Config().CacheEntries)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("serve failed", "err", err)
 	}
 	svc.Close()
+}
+
+// newLogger builds the daemon's structured logger: text for humans at
+// a terminal, JSON when a collector ingests the stream.
+func newLogger(json bool) *slog.Logger {
+	var h slog.Handler
+	if json {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	return slog.New(h).With("daemon", "seedservd")
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"seedblast/internal/service"
+	"seedblast/internal/telemetry"
 )
 
 // Config tunes a Coordinator.
@@ -36,6 +37,10 @@ type Config struct {
 	// Client tunes the per-worker HTTP clients (timeouts, retry
 	// backoff for idempotent calls).
 	Client service.ClientConfig
+	// Registry, when set, is the metrics registry the coordinator
+	// registers its counters and per-worker latency histograms on. Nil
+	// means a private one; either way Coordinator.Registry serves it.
+	Registry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +70,7 @@ type Coordinator struct {
 	cfg     Config
 	clients []*service.Client
 	met     *metrics
+	reg     *telemetry.Registry
 }
 
 // New validates the configuration and returns a coordinator.
@@ -77,11 +83,21 @@ func New(cfg Config) (*Coordinator, error) {
 	for i, u := range cfg.Workers {
 		clients[i] = service.NewClient(u, cfg.Client)
 	}
-	return &Coordinator{cfg: cfg, clients: clients, met: newMetrics(cfg.Workers)}, nil
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	met := newMetrics(cfg.Workers)
+	met.register(reg, cfg.Workers)
+	return &Coordinator{cfg: cfg, clients: clients, met: met, reg: reg}, nil
 }
 
 // Config returns the resolved configuration.
 func (c *Coordinator) Config() Config { return c.cfg }
+
+// Registry returns the metrics registry the coordinator reports on;
+// the cluster daemon serves it on /metrics.
+func (c *Coordinator) Registry() *telemetry.Registry { return c.reg }
 
 // Metrics returns a snapshot of the coordinator's counters.
 func (c *Coordinator) Metrics() MetricsSnapshot { return c.met.snapshot() }
@@ -160,7 +176,11 @@ func (c *Coordinator) Compare(ctx context.Context, query, subject []service.Sequ
 		lens[i] = len(s.Seq)
 		dbLen += lens[i]
 	}
+	tr := telemetry.TraceFromContext(ctx)
+	t0 := time.Now()
 	vols := c.cfg.Partitioner.Partition(lens, c.cfg.Volumes)
+	tr.Record("partition", t0, time.Since(t0),
+		telemetry.Int("volumes", len(vols)), telemetry.String("partitioner", c.cfg.Partitioner.Name()))
 	if err := checkPartition(lens, vols); err != nil {
 		return nil, fmt.Errorf("%w (partitioner %q)", err, c.cfg.Partitioner.Name())
 	}
@@ -214,6 +234,8 @@ func (c *Coordinator) scatterGather(pctx context.Context, query, subject []servi
 			}
 		}
 	}()
+	tr := telemetry.TraceFromContext(pctx)
+	scatterStart := time.Now()
 	var wg sync.WaitGroup
 	for vi := range vols {
 		wg.Add(1)
@@ -234,6 +256,7 @@ func (c *Coordinator) scatterGather(pctx context.Context, query, subject []servi
 		}(vi)
 	}
 	wg.Wait()
+	tr.Record("scatter", scatterStart, time.Since(scatterStart), telemetry.Int("volumes", len(vols)))
 
 	if perr := pctx.Err(); perr != nil {
 		return nil, perr
@@ -258,10 +281,12 @@ func (c *Coordinator) scatterGather(pctx context.Context, query, subject []servi
 	for vi := range results {
 		curs[vi] = results[vi].cursor
 	}
+	gatherStart := time.Now()
 	rep.Alignments, err = mergeAlignmentStreams(curs, rank)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: gather: %w", err)
 	}
+	tr.Record("gather", gatherStart, time.Since(gatherStart), telemetry.Int("alignments", len(rep.Alignments)))
 
 	for vi := range vols {
 		r := &results[vi]
@@ -341,6 +366,8 @@ func (c *Coordinator) runVolume(ctx context.Context, vi int, vol Volume,
 		if err == nil {
 			latency := time.Since(start)
 			c.met.volumeDone(wi, latency)
+			telemetry.TraceFromContext(ctx).Record("volume", start, latency,
+				telemetry.Int("volume", vi), telemetry.String("worker", c.cfg.Workers[wi]))
 			return volumeResult{status: st, cursor: cur, worker: wi, attempts: attempts, latency: latency}, nil
 		}
 		if ctx.Err() != nil {
@@ -413,6 +440,16 @@ func (c *Coordinator) runVolumeOn(ctx context.Context, cl *service.Client,
 		stop()
 		abandon()
 		return nil, nil, fmt.Errorf("fetch: %w", err)
+	}
+	// Stitch the worker's spans into the request trace, stamped with
+	// where they ran. The worker recorded them under the same trace ID
+	// (Submit propagated it in the Seedblast-Trace-Id header). Strictly
+	// best-effort: a trace fetch failure never fails the volume.
+	if tr := telemetry.TraceFromContext(ctx); tr != nil {
+		if wtj, terr := cl.Trace(ctx, id); terr == nil {
+			tr.Graft(telemetry.SpansFromJSON(wtj.Spans),
+				telemetry.String("worker", cl.BaseURL()), telemetry.Int("volume", vi))
+		}
 	}
 	return st, cur, nil
 }

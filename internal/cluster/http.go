@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"seedblast/internal/service"
+	"seedblast/internal/telemetry"
 )
 
 // ServerConfig tunes the coordinator daemon's job store.
@@ -56,6 +57,7 @@ type Server struct {
 type clusterJob struct {
 	id     string
 	mode   string
+	trace  *telemetry.Trace
 	cancel context.CancelFunc
 	done   chan struct{}
 
@@ -103,7 +105,15 @@ func (s *Server) Close() { s.store.StopSweeper() }
 //	DELETE /v1/jobs/{id}            cancel a job (propagates to workers)
 //	GET    /v1/jobs/{id}/alignments fetch a finished job's merged alignments
 //	                                (?stream=1: chunked NDJSON, as on workers)
+//	GET    /v1/jobs/{id}/trace      the job's span trace: coordinator
+//	                                partition/scatter/gather spans plus
+//	                                every worker's per-shard stage spans,
+//	                                grafted at gather under one trace ID
+//	GET    /metrics                 Prometheus text exposition (the
+//	                                coordinator registry, per-worker
+//	                                volume-latency histograms included)
 //	GET    /cluster/metrics         per-worker latency/retry and volume-skew stats
+//	                                (historical hand-rendered form)
 //	GET    /healthz                 liveness probe
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
@@ -112,6 +122,8 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/alignments", s.alignments)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
+	mux.Handle("GET /metrics", s.coord.Registry().Handler())
 	mux.HandleFunc("GET /cluster/metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -146,7 +158,16 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	// The request trace: coordinator spans and, grafted at gather,
+	// every worker's spans — all under one trace ID, taken from the
+	// submitter's header when present (a client correlating its own
+	// telemetry with the cluster's).
+	tid := r.Header.Get(telemetry.TraceHeader)
+	if tid == "" {
+		tid = telemetry.NewTraceID()
+	}
+	tr := telemetry.NewTrace(tid)
+	ctx, cancel := context.WithCancel(telemetry.ContextWithTrace(context.Background(), tr))
 	s.mu.Lock()
 	if s.maxQueued > 0 && s.pending >= s.maxQueued {
 		s.mu.Unlock()
@@ -159,6 +180,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	j := &clusterJob{
 		id:        fmt.Sprintf("cjob-%d", s.seq),
 		mode:      "bank",
+		trace:     tr,
 		cancel:    cancel,
 		done:      make(chan struct{}),
 		state:     service.JobQueued,
@@ -192,7 +214,9 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.store.Prune()
 	}()
-	service.WriteJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "state": string(service.JobQueued)})
+	service.WriteJSON(w, http.StatusAccepted, map[string]string{
+		"id": j.id, "state": string(service.JobQueued), "traceId": tr.ID(),
+	})
 }
 
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*clusterJob, bool) {
@@ -210,6 +234,7 @@ func (j *clusterJob) statusJSON() service.JobStatusJSON {
 		ID:        j.id,
 		State:     string(j.state),
 		Mode:      j.mode,
+		TraceID:   j.trace.ID(),
 		Submitted: j.submitted,
 	}
 	if !j.started.IsZero() {
@@ -249,6 +274,16 @@ func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, j.statusJSON())
 	}
 	service.WriteJSON(w, http.StatusOK, out)
+}
+
+// trace serves the job's stitched span trace: the coordinator's
+// partition/scatter/volume/gather spans plus each worker's per-shard
+// stage spans (grafted at gather with worker= and volume= attributes),
+// all under one trace ID.
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		service.WriteJSON(w, http.StatusOK, j.trace.JSON())
+	}
 }
 
 func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {

@@ -3,6 +3,8 @@ package cluster
 import (
 	"sync"
 	"time"
+
+	"seedblast/internal/telemetry"
 )
 
 // WorkerMetrics is one worker's cumulative scatter-gather accounting.
@@ -43,6 +45,10 @@ type MetricsSnapshot struct {
 
 // metrics is the coordinator's internal mutable counter set.
 type metrics struct {
+	// volHist holds one per-worker volume-latency histogram, set once at
+	// registration (before any volume runs) and read-only after.
+	volHist []*telemetry.Histogram
+
 	mu          sync.Mutex
 	requests    int64
 	completed   int64
@@ -91,6 +97,9 @@ func (m *metrics) requestDone(err error) {
 }
 
 func (m *metrics) volumeDone(worker int, latency time.Duration) {
+	if m.volHist != nil {
+		m.volHist[worker].Observe(latency.Seconds())
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	w := &m.workers[worker]
@@ -107,6 +116,49 @@ func (m *metrics) volumeFailed(worker int, retried bool) {
 	m.workers[worker].Failures++
 	if retried {
 		m.retries++
+	}
+}
+
+// register puts the coordinator's counters on a telemetry registry:
+// the historical /cluster/metrics names verbatim as callback-backed
+// metrics (one source of truth, now with HELP/TYPE lines), plus a real
+// per-worker volume-latency histogram fed by volumeDone.
+func (m *metrics) register(r *telemetry.Registry, urls []string) {
+	cnt := func(name, help string, get func(MetricsSnapshot) float64) {
+		r.Func("seedclusterd_"+name, help, telemetry.TypeCounter, func() float64 { return get(m.snapshot()) })
+	}
+	gau := func(name, help string, get func(MetricsSnapshot) float64) {
+		r.Func("seedclusterd_"+name, help, telemetry.TypeGauge, func() float64 { return get(m.snapshot()) })
+	}
+	cnt("requests_total", "Cluster comparisons started.",
+		func(s MetricsSnapshot) float64 { return float64(s.Requests) })
+	cnt("requests_completed_total", "Cluster comparisons finished successfully.",
+		func(s MetricsSnapshot) float64 { return float64(s.Completed) })
+	cnt("requests_failed_total", "Cluster comparisons that errored or were cancelled.",
+		func(s MetricsSnapshot) float64 { return float64(s.Failed) })
+	cnt("volume_retries_total", "Volume attempts reissued after a worker failure.",
+		func(s MetricsSnapshot) float64 { return float64(s.Retries) })
+	gau("last_volumes", "Volumes cut for the most recent request.",
+		func(s MetricsSnapshot) float64 { return float64(s.LastVolumes) })
+	gau("last_volume_skew", "Max/mean residue ratio of the last partition (1 = balanced).",
+		func(s MetricsSnapshot) float64 { return s.LastSkew })
+	m.volHist = make([]*telemetry.Histogram, len(urls))
+	for i, u := range urls {
+		r.Func("seedclusterd_worker_volumes_total", "Volume jobs completed per worker.",
+			telemetry.TypeCounter,
+			func() float64 { return float64(m.snapshot().Workers[i].Volumes) },
+			telemetry.L("worker", u))
+		r.Func("seedclusterd_worker_failures_total", "Failed volume attempts per worker.",
+			telemetry.TypeCounter,
+			func() float64 { return float64(m.snapshot().Workers[i].Failures) },
+			telemetry.L("worker", u))
+		r.Func("seedclusterd_worker_latency_seconds_total", "Summed submit-to-gather volume latency per worker.",
+			telemetry.TypeCounter,
+			func() float64 { return m.snapshot().Workers[i].TotalLatency.Seconds() },
+			telemetry.L("worker", u))
+		m.volHist[i] = r.Histogram("seedclusterd_volume_seconds",
+			"Per-volume submit-to-gather latency.",
+			telemetry.DurationBuckets, telemetry.L("worker", u))
 	}
 }
 

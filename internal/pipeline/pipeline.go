@@ -37,6 +37,7 @@ import (
 	"seedblast/internal/hwsim"
 	"seedblast/internal/index"
 	"seedblast/internal/seed"
+	"seedblast/internal/telemetry"
 	"seedblast/internal/ungapped"
 )
 
@@ -288,6 +289,14 @@ func (e *Engine) run(pctx context.Context, req *Request, emit func([]gapped.Alig
 	ctx, cancel := context.WithCancel(pctx)
 	defer cancel()
 
+	// Per-stage spans land on the request's trace when the caller put
+	// one in ctx (the service does, per job). Every stage timing the
+	// engine already takes for Metrics is mirrored as a span, so one
+	// trace shows where each shard's wall time went — the paper's
+	// per-stage breakdown, per production request. A nil trace records
+	// nothing and costs nothing.
+	tr := telemetry.TraceFromContext(pctx)
+
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -312,7 +321,9 @@ func (e *Engine) run(pctx context.Context, req *Request, emit func([]gapped.Alig
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: indexing bank 1: %w", err)
 		}
-		met.Index.Busy += time.Since(t0)
+		d := time.Since(t0)
+		met.Index.Busy += d
+		tr.Record("step1", t0, d, telemetry.String("part", "bank1"))
 	} else if err := MatchesRequest(ix1, req.Bank1, req.Seed, req.N); err != nil {
 		return nil, fmt.Errorf("pipeline: provided bank-1 index %w", err)
 	}
@@ -356,6 +367,7 @@ func (e *Engine) run(pctx context.Context, req *Request, emit func([]gapped.Alig
 				fail(fmt.Errorf("pipeline: shard %d index: %w", id, err))
 				return
 			}
+			tr.Record("step1", t0, d, telemetry.Int("shard", id))
 			merger.add(sh.Index)
 			select {
 			case shardCh <- sh:
@@ -405,6 +417,11 @@ func (e *Engine) run(pctx context.Context, req *Request, emit func([]gapped.Alig
 					met.ShardsByKernel[r.Kernel]++
 				}
 				mu.Unlock()
+				attrs := []telemetry.Attr{telemetry.Int("shard", sh.ID), telemetry.String("backend", e.backend.Name())}
+				if r.Kernel != "" {
+					attrs = append(attrs, telemetry.String("kernel", r.Kernel))
+				}
+				tr.Record("step2", t0, d, attrs...)
 				select {
 				case step2Ch <- r:
 				case <-ctx.Done():
@@ -483,6 +500,7 @@ func (e *Engine) run(pctx context.Context, req *Request, emit func([]gapped.Alig
 				buffered += len(as)
 				met.MaxBufferedMatches = max(met.MaxBufferedMatches, buffered)
 				mu.Unlock()
+				tr.Record("step3", t0, d, telemetry.Int("shard", r.Shard.ID))
 				so := &outs[r.Shard.ID]
 				so.aligns, so.gstats = as, gs
 				so.nHits, so.pairs = len(r.Hits), r.Pairs

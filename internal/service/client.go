@@ -11,6 +11,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"seedblast/internal/telemetry"
 )
 
 // Client is a typed HTTP client for the service's job API
@@ -241,6 +243,17 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	return nil, lastErr
 }
 
+// Trace fetches a job's span trace (the GET /v1/jobs/{id}/trace
+// endpoint). Live while the job runs; the coordinator calls it at
+// gather time to graft worker spans into its own trace.
+func (c *Client) Trace(ctx context.Context, id string) (*telemetry.TraceJSON, error) {
+	var tj telemetry.TraceJSON
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &tj, true); err != nil {
+		return nil, err
+	}
+	return &tj, nil
+}
+
 // Cancel stops a job. Cancelling an already-finished job is a no-op
 // on the server and returns nil here.
 func (c *Client) Cancel(ctx context.Context, id string) error {
@@ -283,6 +296,12 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// A trace in the caller's context propagates over the wire: the
+	// server runs the submitted job under the same trace ID, so the
+	// coordinator's gather can stitch worker spans into its own trace.
+	if tr := telemetry.TraceFromContext(ctx); tr != nil {
+		req.Header.Set(telemetry.TraceHeader, tr.ID())
 	}
 	hc := c.httpc
 	if stream {

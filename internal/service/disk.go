@@ -98,7 +98,7 @@ func (s *Service) loadFromDisk(fingerprint string) (*index.Index, bool) {
 		// must not stay invisible: it leaks address space on every
 		// churned load.
 		if cerr := ix.Close(); cerr != nil {
-			s.logf("service: closing stale seeddb %s: %v", path, cerr)
+			s.log().Warn("closing stale seeddb", "path", path, "err", cerr)
 		}
 		return nil, false
 	}

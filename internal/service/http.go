@@ -13,6 +13,7 @@ import (
 	"seedblast/internal/gapped"
 	"seedblast/internal/pipeline"
 	"seedblast/internal/stats"
+	"seedblast/internal/telemetry"
 	"seedblast/internal/translate"
 	"seedblast/internal/ungapped"
 )
@@ -36,8 +37,15 @@ const streamFlushEvery = 64
 //	                               (?stream=1: chunked NDJSON, one
 //	                               alignment per line, instead of one
 //	                               JSON array)
-//	GET    /metrics                Prometheus-style counters
+//	GET    /v1/jobs/{id}/trace     the job's span trace (per-shard
+//	                               stage timings; live while running)
+//	GET    /metrics                Prometheus text exposition (the
+//	                               service registry: counters, gauges,
+//	                               stage-latency histograms)
 //	GET    /healthz                liveness probe
+//
+// A submit carrying a Seedblast-Trace-Id header runs under that trace
+// ID — the cluster coordinator correlates worker spans this way.
 func NewHandler(s *Service) http.Handler {
 	h := &handler{svc: s}
 	mux := http.NewServeMux()
@@ -46,7 +54,8 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", h.status)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", h.cancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/alignments", h.alignments)
-	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", h.trace)
+	mux.Handle("GET /metrics", s.Registry().Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -108,6 +117,7 @@ type JobStatusJSON struct {
 	ID        string     `json:"id"`
 	State     string     `json:"state"`
 	Mode      string     `json:"mode"` // "bank" or "genome"
+	TraceID   string     `json:"traceId,omitempty"`
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
@@ -264,12 +274,15 @@ func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, "subject: %v", err)
 		return
 	}
+	req.TraceID = r.Header.Get(telemetry.TraceHeader)
 	j, err := h.svc.Submit(req)
 	if err != nil {
 		WriteError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	WriteJSON(w, http.StatusAccepted, map[string]string{"id": j.ID(), "state": string(j.State())})
+	WriteJSON(w, http.StatusAccepted, map[string]string{
+		"id": j.ID(), "state": string(j.State()), "traceId": j.Trace().ID(),
+	})
 }
 
 func jobStatus(j *Job) JobStatusJSON {
@@ -278,6 +291,7 @@ func jobStatus(j *Job) JobStatusJSON {
 		ID:        j.ID(),
 		State:     string(j.State()),
 		Mode:      "bank",
+		TraceID:   j.Trace().ID(),
 		Submitted: sub,
 	}
 	if j.Request().Genome != nil {
@@ -330,6 +344,15 @@ func (h *handler) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 func (h *handler) status(w http.ResponseWriter, r *http.Request) {
 	if j, ok := h.lookup(w, r); ok {
 		WriteJSON(w, http.StatusOK, jobStatus(j))
+	}
+}
+
+// trace serves the job's span trace — the per-request equivalent of
+// the paper's per-stage wall-time table. Live while the job runs: the
+// snapshot holds whatever spans have finished so far.
+func (h *handler) trace(w http.ResponseWriter, r *http.Request) {
+	if j, ok := h.lookup(w, r); ok {
+		WriteJSON(w, http.StatusOK, j.Trace().JSON())
 	}
 }
 
@@ -451,29 +474,4 @@ func MatchJSON(m *core.Match) AlignmentJSON {
 		aj.NucStart, aj.NucEnd = &ns, &ne
 	}
 	return aj
-}
-
-// metrics renders the service counters in the Prometheus text
-// exposition format: request totals, admission gauges, index-cache
-// behaviour (hit rate included) and per-stage busy seconds.
-func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
-	m := h.svc.Metrics()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	p := func(name string, v any) { fmt.Fprintf(w, "seedservd_%s %v\n", name, v) }
-	p("requests_submitted_total", m.Submitted)
-	p("requests_completed_total", m.Completed)
-	p("requests_failed_total", m.Failed)
-	p("requests_running", m.Running)
-	p("requests_waiting", m.Waiting)
-	p("index_cache_hits_total", m.Cache.Hits)
-	p("index_cache_misses_total", m.Cache.Misses)
-	p("index_cache_evictions_total", m.Cache.Evictions)
-	p("index_cache_disk_loads_total", m.Cache.DiskLoads)
-	p("index_cache_entries", m.Cache.Entries)
-	p("index_cache_hit_rate", m.CacheHitRate)
-	fmt.Fprintf(w, "seedservd_stage_busy_seconds_total{stage=\"index\"} %v\n", m.IndexBusy.Seconds())
-	fmt.Fprintf(w, "seedservd_stage_busy_seconds_total{stage=\"step2\"} %v\n", m.Step2Busy.Seconds())
-	fmt.Fprintf(w, "seedservd_stage_busy_seconds_total{stage=\"step3\"} %v\n", m.Step3Busy.Seconds())
-	p("engine_wall_seconds_total", m.Wall.Seconds())
-	p("alignments_total", m.Alignments)
 }

@@ -26,6 +26,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"seedblast/internal/core"
 	"seedblast/internal/gapped"
 	"seedblast/internal/index"
+	"seedblast/internal/telemetry"
 )
 
 // Config tunes the service. The zero value gets sensible defaults.
@@ -67,11 +69,16 @@ type Config struct {
 	// request). Zero means JobTTL/2, clamped to [1s, 1min]; negative
 	// disables the sweeper (pruning still happens on access).
 	SweepInterval time.Duration
-	// Logf, when set, receives operational events the service cannot
+	// Logger, when set, receives operational events the service cannot
 	// surface through a request's error — e.g. a failed munmap while
 	// discarding a stale disk-registry index. Nil discards them;
-	// daemons wire it to their logger.
-	Logf func(format string, args ...any)
+	// daemons wire it to their structured logger.
+	Logger *slog.Logger
+	// Registry, when set, is the metrics registry the service registers
+	// its counters, gauges and stage-latency histograms on — daemons
+	// share one registry between the service and their own metrics. Nil
+	// means a private registry; either way Service.Registry serves it.
+	Registry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -96,11 +103,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// logf reports an operational event through the configured hook.
-func (s *Service) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
+// log returns the configured structured logger (a discard logger when
+// none is set), so call sites never nil-check.
+func (s *Service) log() *slog.Logger {
+	if s.cfg.Logger != nil {
+		return s.cfg.Logger
 	}
+	return slog.New(slog.DiscardHandler)
 }
 
 // DefaultSweepInterval derives a job-store sweep cadence from a TTL:
@@ -132,6 +141,11 @@ type Request struct {
 	// fall back to core.DefaultOptions; Options.SubjectIndex is managed
 	// by the service and overwritten.
 	Options core.Options
+	// TraceID, when set, names the job's trace — the cluster coordinator
+	// propagates its trace ID here (via the Seedblast-Trace-Id header) so
+	// worker spans correlate with the coordinator's. Empty means a fresh
+	// random ID.
+	TraceID string
 }
 
 // JobState is a job's lifecycle position.
@@ -150,6 +164,7 @@ const (
 type Job struct {
 	id     string
 	req    *Request
+	trace  *telemetry.Trace
 	cancel context.CancelFunc
 	done   chan struct{}
 
@@ -169,6 +184,10 @@ func (j *Job) ID() string { return j.id }
 // Request returns the request the job was submitted with (treated as
 // immutable after Submit).
 func (j *Job) Request() *Request { return j.req }
+
+// Trace returns the job's span trace. It is live: the pipeline appends
+// spans while the job runs, and Trace().Spans() snapshots safely.
+func (j *Job) Trace() *telemetry.Trace { return j.trace }
 
 // State returns the current lifecycle state.
 func (j *Job) State() JobState {
@@ -266,6 +285,10 @@ type Service struct {
 
 	store *JobStore[*Job]
 
+	reg       *telemetry.Registry
+	stageHist map[string]*telemetry.Histogram // span name → latency histogram
+	reqHist   *telemetry.Histogram            // whole-request latency
+
 	mu      sync.Mutex
 	seq     int
 	pending int // async jobs admitted but not finished
@@ -294,9 +317,91 @@ func New(cfg Config) *Service {
 		buildSem: make(chan struct{}, cfg.MaxConcurrent),
 		cache:    newIndexCache(cfg.CacheEntries),
 		store:    NewJobStore[*Job](cfg.MaxJobsRetained, cfg.JobTTL),
+		reg:      cfg.Registry,
 	}
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	s.registerMetrics()
 	s.store.StartSweeper(cfg.SweepInterval)
 	return s
+}
+
+// Registry returns the metrics registry the service reports on; the
+// HTTP layer serves it on /metrics.
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// registerMetrics puts the service's counters on the registry. The
+// historical /metrics names are kept verbatim as callback-backed
+// metrics over the MetricsSnapshot counters — one source of truth, now
+// with HELP/TYPE lines — and per-shard stage latencies gain real
+// histograms fed from each finished run's trace spans.
+func (s *Service) registerMetrics() {
+	r := s.reg
+	cnt := func(name, help string, get func(MetricsSnapshot) float64) {
+		r.Func("seedservd_"+name, help, telemetry.TypeCounter, func() float64 { return get(s.Metrics()) })
+	}
+	gau := func(name, help string, get func(MetricsSnapshot) float64) {
+		r.Func("seedservd_"+name, help, telemetry.TypeGauge, func() float64 { return get(s.Metrics()) })
+	}
+	cnt("requests_submitted_total", "Requests accepted (sync and async).",
+		func(m MetricsSnapshot) float64 { return float64(m.Submitted) })
+	cnt("requests_completed_total", "Requests finished successfully.",
+		func(m MetricsSnapshot) float64 { return float64(m.Completed) })
+	cnt("requests_failed_total", "Requests that errored or were cancelled.",
+		func(m MetricsSnapshot) float64 { return float64(m.Failed) })
+	gau("requests_running", "Comparisons currently admitted.",
+		func(m MetricsSnapshot) float64 { return float64(m.Running) })
+	gau("requests_waiting", "Requests blocked on admission or an index build.",
+		func(m MetricsSnapshot) float64 { return float64(m.Waiting) })
+	cnt("index_cache_hits_total", "Subject-index cache hits.",
+		func(m MetricsSnapshot) float64 { return float64(m.Cache.Hits) })
+	cnt("index_cache_misses_total", "Subject-index cache misses.",
+		func(m MetricsSnapshot) float64 { return float64(m.Cache.Misses) })
+	cnt("index_cache_evictions_total", "Subject indexes evicted from the LRU.",
+		func(m MetricsSnapshot) float64 { return float64(m.Cache.Evictions) })
+	cnt("index_cache_disk_loads_total", "Cache misses served from a registered seeddb.",
+		func(m MetricsSnapshot) float64 { return float64(m.Cache.DiskLoads) })
+	gau("index_cache_entries", "Subject indexes resident in the cache.",
+		func(m MetricsSnapshot) float64 { return float64(m.Cache.Entries) })
+	gau("index_cache_hit_rate", "Cache hits over lookups since start.",
+		func(m MetricsSnapshot) float64 { return m.CacheHitRate })
+	for stage, get := range map[string]func(MetricsSnapshot) time.Duration{
+		"index": func(m MetricsSnapshot) time.Duration { return m.IndexBusy },
+		"step2": func(m MetricsSnapshot) time.Duration { return m.Step2Busy },
+		"step3": func(m MetricsSnapshot) time.Duration { return m.Step3Busy },
+	} {
+		r.Func("seedservd_stage_busy_seconds_total",
+			"Per-stage busy time summed over completed runs.",
+			telemetry.TypeCounter,
+			func() float64 { return get(s.Metrics()).Seconds() },
+			telemetry.L("stage", stage))
+	}
+	cnt("engine_wall_seconds_total", "Engine wall time summed over completed runs.",
+		func(m MetricsSnapshot) float64 { return m.Wall.Seconds() })
+	cnt("alignments_total", "Alignments reported across completed runs.",
+		func(m MetricsSnapshot) float64 { return float64(m.Alignments) })
+
+	s.stageHist = make(map[string]*telemetry.Histogram)
+	for _, stage := range []string{"step1", "step2", "step3"} {
+		s.stageHist[stage] = r.Histogram("seedservd_stage_seconds",
+			"Per-shard stage latency, one observation per pipeline span.",
+			telemetry.DurationBuckets, telemetry.L("stage", stage))
+	}
+	s.reqHist = r.Histogram("seedservd_request_seconds",
+		"End-to-end request latency (admission wait included).",
+		telemetry.DurationBuckets)
+}
+
+// observeTrace feeds one finished run's stage spans into the latency
+// histograms. Each job and each sync call runs under its own trace, so
+// the spans seen here are exactly this run's.
+func (s *Service) observeTrace(tr *telemetry.Trace) {
+	for _, sp := range tr.Spans() {
+		if h, ok := s.stageHist[sp.Name]; ok {
+			h.Observe(sp.Duration.Seconds())
+		}
+	}
 }
 
 // Config returns the resolved configuration.
@@ -324,7 +429,15 @@ func (s *Service) Submit(req *Request) (*Job, error) {
 	if err := validate(req); err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	// The job's trace: the submitter's ID when one came over the wire
+	// (the cluster coordinator correlating worker spans with its own),
+	// fresh otherwise. It rides the job context so the pipeline finds it.
+	tid := req.TraceID
+	if tid == "" {
+		tid = telemetry.NewTraceID()
+	}
+	tr := telemetry.NewTrace(tid)
+	ctx, cancel := context.WithCancel(telemetry.ContextWithTrace(context.Background(), tr))
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -341,6 +454,7 @@ func (s *Service) Submit(req *Request) (*Job, error) {
 	j := &Job{
 		id:        fmt.Sprintf("job-%d", s.seq),
 		req:       req,
+		trace:     tr,
 		cancel:    cancel,
 		done:      make(chan struct{}),
 		state:     JobQueued,
@@ -483,6 +597,17 @@ func (s *Service) run(ctx context.Context, req *Request, onStart func()) (*core.
 	}
 	opt := resolveOptions(req.Options)
 
+	// Every run gets a trace: async jobs carry theirs in ctx (Submit
+	// puts it there), sync calls get an ephemeral one. The pipeline
+	// records per-shard stage spans into it; on success they feed the
+	// stage-latency histograms.
+	tr := telemetry.TraceFromContext(ctx)
+	if tr == nil {
+		tr = telemetry.NewTrace(telemetry.NewTraceID())
+		ctx = telemetry.ContextWithTrace(ctx, tr)
+	}
+	start := time.Now()
+
 	s.mu.Lock()
 	s.submitted++
 	s.waiting++
@@ -490,9 +615,9 @@ func (s *Service) run(ctx context.Context, req *Request, onStart func()) (*core.
 
 	finish := func(res *core.Result, gres *core.GenomeResult, err error) (*core.Result, *core.GenomeResult, error) {
 		s.mu.Lock()
-		defer s.mu.Unlock()
 		if err != nil {
 			s.failed++
+			s.mu.Unlock()
 			return nil, nil, err
 		}
 		s.completed++
@@ -505,6 +630,11 @@ func (s *Service) run(ctx context.Context, req *Request, onStart func()) (*core.
 		s.step3Busy += pm.Pipeline.Step3.Busy
 		s.wall += pm.Pipeline.Wall
 		s.alignments += int64(len(pm.Alignments))
+		s.mu.Unlock()
+		d := time.Since(start)
+		tr.Record("request", start, d)
+		s.reqHist.Observe(d.Seconds())
+		s.observeTrace(tr)
 		return res, gres, nil
 	}
 

@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartPprof serves the net/http/pprof profiling endpoints on addr in
+// a background goroutine and returns once the listener is bound (so a
+// bad address fails fast at daemon startup). The profiling mux is
+// deliberately its own server on its own port: profiles expose
+// internals the job API's port should not, and a wedged handler on the
+// serving port must not take profiling down with it. Returns the bound
+// address (useful with ":0").
+//
+// The server lives for the process; daemons expose it behind a
+// -pprof-addr flag and simply don't call this when the flag is unset.
+func StartPprof(addr string, log *slog.Logger) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if serr := srv.Serve(ln); serr != nil && log != nil {
+			log.Error("pprof server exited", "addr", ln.Addr().String(), "err", serr)
+		}
+	}()
+	if log != nil {
+		log.Info("pprof listening", "addr", ln.Addr().String())
+	}
+	return ln.Addr().String(), nil
+}
