@@ -55,6 +55,18 @@ type StreamSample struct {
 	Kernel         string  `json:"kernel"` // kernel the CPU shards resolved to
 }
 
+// PrefilterSample is one maxCandidates cell of the end-to-end
+// prefilter sweep: the full streaming pipeline over a redundant
+// homolog-rich bank with the top-K candidate cut at k (0 = off).
+type PrefilterSample struct {
+	MaxCandidates int     `json:"maxCandidates"`
+	WallMS        float64 `json:"wallMS"`
+	Matches       int     `json:"matches"`
+	Kept          int64   `json:"kept"`
+	Dropped       int64   `json:"dropped"`
+	SpeedupVsOff  float64 `json:"speedupVsOff"`
+}
+
 // Record is the file layout of a benchrec BENCH_NNNN.json
 // (benchfmt.SchemaBench; the schema is documented in EXPERIMENTS.md).
 type Record struct {
@@ -65,6 +77,10 @@ type Record struct {
 	Kernels    []KernelSample      `json:"kernels"`
 	Speedups   []Speedup           `json:"speedups"`
 	Stream     StreamSample        `json:"stream"`
+	// Prefilter is present when the -prefilter sweep ran; the workload
+	// is described in PrefilterWorkload.
+	Prefilter         []PrefilterSample `json:"prefilter,omitempty"`
+	PrefilterWorkload string            `json:"prefilterWorkload,omitempty"`
 }
 
 func main() {
@@ -82,6 +98,7 @@ func main() {
 		n1        = flag.Int("subjects", 2000, "subject sequences")
 		l1        = flag.Int("subject-len", 600, "subject length")
 		benchtime = flag.Duration("benchtime", time.Second, "minimum measuring time per cell")
+		prefilter = flag.Bool("prefilter", false, "sweep the candidate prefilter (k=0,50,100,500) on a 5000-subject homolog bank")
 	)
 	flag.Parse()
 
@@ -124,6 +141,19 @@ func main() {
 	rec.Stream = *stream
 	log.Printf("stream: %d shards of %d, %.1f ms wall, %.0f pairs/s, %.0f residues/s (kernel %s)",
 		stream.Shards, stream.ShardSize, stream.WallMS, stream.PairsPerSec, stream.ResiduesPerSec, stream.Kernel)
+
+	if *prefilter {
+		samples, desc, err := measurePrefilter()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec.Prefilter = samples
+		rec.PrefilterWorkload = desc
+		for _, s := range samples {
+			log.Printf("prefilter k=%d: %.1f ms wall, %d matches, %.2fx vs off",
+				s.MaxCandidates, s.WallMS, s.Matches, s.SpeedupVsOff)
+		}
+	}
 
 	buf, err := json.MarshalIndent(&rec, "", "  ")
 	if err != nil {
@@ -220,6 +250,70 @@ func measureStream(n0, l0, n1, l1 int) (*StreamSample, error) {
 		ResiduesPerSec: round3(float64(residues) / wall.Seconds()),
 		Kernel:         kernel,
 	}, nil
+}
+
+// measurePrefilter sweeps maxCandidates over a redundant bank — every
+// subject a mutated relative of some query at divergence 10–50% — the
+// workload class the prefilter targets (NR-style databases where most
+// pairs reach extension). Each cell takes the best of three runs.
+func measurePrefilter() ([]PrefilterSample, string, error) {
+	const (
+		nQueries  = 16
+		nSubjects = 5000
+	)
+	queries := bank.GenerateProteins(bank.ProteinConfig{
+		N: nQueries, MeanLen: 120, LenJitter: 30, Seed: 71,
+	})
+	rng := bank.NewRNG(73)
+	rates := []float64{0.10, 0.20, 0.30, 0.40, 0.50}
+	subjects := bank.New("subjects")
+	for i := 0; i < nSubjects; i++ {
+		q := queries.Seq(i % queries.Len())
+		rate := rates[(i/queries.Len())%len(rates)]
+		subjects.Add(fmt.Sprintf("h%d", i), bank.MutateProtein(rng, q, rate))
+	}
+	desc := fmt.Sprintf("%d×~120aa queries vs %d mutated homologs (10–50%% divergence), single shard",
+		nQueries, nSubjects)
+
+	// Pre-build the subject index once so cells measure the
+	// per-request stages, as a warm server would.
+	opt := core.DefaultOptions()
+	ix1, err := index.BuildParallel(subjects, opt.Seed, opt.N, 0)
+	if err != nil {
+		return nil, "", err
+	}
+
+	var out []PrefilterSample
+	var offWall float64
+	for _, k := range []int{0, 50, 100, 500} {
+		opt := core.DefaultOptions()
+		opt.MaxCandidates = k
+		opt.SubjectIndex = ix1
+		var best *core.Result
+		var bestWall time.Duration
+		for rep := 0; rep < 3; rep++ {
+			res, err := core.Compare(queries, subjects, opt)
+			if err != nil {
+				return nil, "", err
+			}
+			if best == nil || res.Pipeline.Wall < bestWall {
+				best, bestWall = res, res.Pipeline.Wall
+			}
+		}
+		wallMS := float64(bestWall.Nanoseconds()) / 1e6
+		if k == 0 {
+			offWall = wallMS
+		}
+		out = append(out, PrefilterSample{
+			MaxCandidates: k,
+			WallMS:        round3(wallMS),
+			Matches:       len(best.Alignments),
+			Kept:          best.Pipeline.PrefilterKept,
+			Dropped:       best.Pipeline.PrefilterDropped,
+			SpeedupVsOff:  round3(offWall / wallMS),
+		})
+	}
+	return out, desc, nil
 }
 
 func round3(v float64) float64 {

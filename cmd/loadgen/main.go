@@ -139,6 +139,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if rec.Daemon == "seedservd" {
+		if err := checkWorkerFamilies(before); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	col := newCollector()
 
@@ -412,6 +417,40 @@ func daemonKind(fams telemetry.Families) (string, error) {
 		return "seedclusterd", nil
 	}
 	return "", fmt.Errorf("target serves neither seedservd nor seedclusterd metrics")
+}
+
+// workerFamilies is the metric surface a seedservd is expected to
+// serve; a scrape missing any of them fails the run. The list is the
+// contract the dashboards are built on, so a renamed or dropped family
+// breaks here — in CI's loadgen smoke — instead of in production.
+var workerFamilies = []string{
+	"seedservd_requests_submitted_total",
+	"seedservd_requests_completed_total",
+	"seedservd_requests_failed_total",
+	"seedservd_stage_busy_seconds_total",
+	"seedservd_engine_wall_seconds_total",
+	"seedservd_alignments_total",
+	"seedservd_prefilter_kept_total",
+	"seedservd_prefilter_dropped_total",
+	"seedservd_prefilter_survivors",
+	"seedservd_stage_seconds",
+	"seedservd_request_seconds",
+}
+
+// checkWorkerFamilies verifies the worker serves its full expected
+// metric surface (families are keyed by base name, so histograms are
+// matched by their family name, not their _bucket/_count series).
+func checkWorkerFamilies(fams telemetry.Families) error {
+	var missing []string
+	for _, name := range workerFamilies {
+		if fams[name] == nil {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("worker /metrics is missing expected families: %v", missing)
+	}
+	return nil
 }
 
 // completedDelta reads how far the daemon's completed-requests counter

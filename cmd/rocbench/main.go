@@ -4,15 +4,23 @@
 // pipeline and the BLAST-style baseline, and the rankings are scored
 // with ROC50 and AP-Mean.
 //
+// With -max-candidates-sweep it instead runs the prefilter
+// sensitivity-vs-speed sweep: the same ROC50/AP-Mean scoring on a
+// blastp-style protein bank (members + decoys) while the candidate
+// prefilter cut ranges over the listed k values.
+//
 // Example:
 //
 //	rocbench -families 25 -divergence 0.5
+//	rocbench -max-candidates-sweep 0,2,4,8,16,32
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
 	"seedblast/internal/experiments"
 )
@@ -29,6 +37,7 @@ func main() {
 		decoys     = flag.Int("decoys", 120, "unrelated decoy genes")
 		evalue     = flag.Float64("evalue", 10, "ranking E-value cutoff (relaxed so FPs appear)")
 		seed       = flag.Int64("seed", 606, "workload seed")
+		sweep      = flag.String("max-candidates-sweep", "", "comma-separated maxCandidates values; runs the prefilter ROC50-vs-speed sweep instead of Table 6")
 	)
 	flag.Parse()
 
@@ -41,9 +50,34 @@ func main() {
 	cfg.Family.Seed = *seed
 	cfg.MaxEValue = *evalue
 
+	if *sweep != "" {
+		ks, err := parseKs(*sweep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := experiments.RunPrefilterSweep(cfg, ks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Format())
+		return
+	}
+
 	res, err := experiments.RunTable6(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(res.Format())
+}
+
+func parseKs(s string) ([]int, error) {
+	var ks []int
+	for _, part := range strings.Split(s, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || k < 0 {
+			return nil, fmt.Errorf("bad -max-candidates-sweep value %q", part)
+		}
+		ks = append(ks, k)
+	}
+	return ks, nil
 }

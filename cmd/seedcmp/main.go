@@ -51,6 +51,7 @@ func main() {
 		pes          = flag.Int("pes", 192, "PE array size (rasc engine)")
 		fpgas        = flag.Int("fpgas", 1, "FPGAs used (rasc engine, 1 or 2)")
 		offloadGap   = flag.Bool("offload-gapped", false, "simulate the future-work gap operator on the second FPGA")
+		maxCand      = flag.Int("max-candidates", 0, "prefilter: extend only the top K subjects per query by diagonal seed score (0 = off, exhaustive; E-values unchanged)")
 		threshold    = flag.Int("threshold", 38, "ungapped score threshold")
 		evalue       = flag.Float64("evalue", 1e-3, "maximum E-value")
 		top          = flag.Int("top", 20, "matches to print in the human report (0 = all; machine formats always stream all)")
@@ -90,6 +91,7 @@ func main() {
 	opts := []seedblast.Option{
 		seedblast.WithStep2Kernel(kernel),
 		seedblast.WithUngappedThreshold(*threshold),
+		seedblast.WithMaxCandidates(*maxCand),
 		seedblast.WithMaxEValue(*evalue),
 		seedblast.WithTraceback(*full),
 		seedblast.WithPipeline(seedblast.PipelineConfig{
@@ -126,6 +128,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "seedcmp: %d matches; pairs scored %d; hits %d\n", n, sum.Pairs, sum.Hits)
 		fmt.Fprintf(os.Stderr, "seedcmp: timing: step1 %v, step2 %v, step3 %v\n",
 			sum.Times.Index, sum.Times.Ungapped, sum.Times.Gapped)
+		if pm := sum.Pipeline; pm.Prefilter.Shards > 0 {
+			fmt.Fprintf(os.Stderr, "seedcmp: prefilter: kept %d / dropped %d candidate pairs in %v\n",
+				pm.PrefilterKept, pm.PrefilterDropped, pm.Prefilter.Busy)
+		}
 		return
 	}
 
@@ -230,6 +236,23 @@ func printTiming(res *seedblast.GenomeResult) {
 		}
 	}
 	printKernels(res.Pipeline.ShardsByKernel)
+	printPrefilter(&res.Pipeline)
+}
+
+// printPrefilter reports the candidate-selection cut when the stage
+// ran. Like the kernel split, the counters come from pipeline.Metrics,
+// so a merged (multi-run) Metrics prints its fold-up the same way.
+func printPrefilter(pm *seedblast.PipelineMetrics) {
+	if pm.Prefilter.Shards == 0 {
+		return
+	}
+	total := pm.PrefilterKept + pm.PrefilterDropped
+	sel := 0.0
+	if total > 0 {
+		sel = 100 * float64(pm.PrefilterKept) / float64(total)
+	}
+	fmt.Printf("prefilter: %d shards in %v; kept %d / dropped %d candidate pairs (%.1f%% extended)\n",
+		pm.Prefilter.Shards, pm.Prefilter.Busy, pm.PrefilterKept, pm.PrefilterDropped, sel)
 }
 
 // printKernels reports which step-2 CPU kernel(s) actually ran — the

@@ -8,8 +8,9 @@ import (
 
 // CtxSelect enforces the engine's goroutine cancellation discipline
 // (PRs 1–3): inside the concurrency-bearing packages (pipeline,
-// cluster, service, ungapped), a goroutine that sends on a channel
-// must not be able to block forever once the request is abandoned.
+// cluster, service, ungapped, prefilter), a goroutine that sends on a
+// channel must not be able to block forever once the request is
+// abandoned.
 // A send is acceptable when it
 //
 //   - sits in a select with a <-ctx.Done() (or done/stop/quit channel)
@@ -25,7 +26,7 @@ import (
 // channel nobody drains after the consumer bailed out.
 var CtxSelect = &Analyzer{
 	Name: "ctxselect",
-	Doc: "goroutines in pipeline/cluster/service/ungapped must keep channel sends cancellable: " +
+	Doc: "goroutines in pipeline/cluster/service/ungapped/prefilter must keep channel sends cancellable: " +
 		"select on ctx.Done(), own (close) the channel, or send on a workload-sized buffer",
 	Run: runCtxSelect,
 }
@@ -33,10 +34,11 @@ var CtxSelect = &Analyzer{
 // ctxSelectPackages are the path segments naming the packages under
 // this discipline.
 var ctxSelectPackages = map[string]bool{
-	"pipeline": true,
-	"cluster":  true,
-	"service":  true,
-	"ungapped": true,
+	"pipeline":  true,
+	"cluster":   true,
+	"service":   true,
+	"ungapped":  true,
+	"prefilter": true,
 }
 
 func inCtxSelectScope(path string) bool {

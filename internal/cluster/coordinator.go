@@ -146,6 +146,21 @@ type Report struct {
 // bit-identical (values and ranking) to submitting the unpartitioned
 // request to a single worker.
 //
+// Options travel to the workers verbatim, which gives maxCandidates
+// per-volume semantics: each worker applies the top-K cut within its
+// own volume, so across V volumes a query can keep up to V×K
+// subjects. Because a volume's candidate ranking is a sub-ranking of
+// the whole bank's, partitioning tends to add sensitivity under the
+// prefilter rather than remove it (modulo the stage's hashed scoring:
+// volume-local sequence numbering shifts which accumulator cells
+// collide, so scores — and near-tie cut decisions — can differ
+// slightly from an unpartitioned run). The gather-side re-ranking and
+// E-values are unaffected either way (the geometry is the full
+// bank's), and with maxCandidates large enough that no volume cuts
+// anything the gathered result is bit-identical to the unfiltered
+// run. With maxCandidates absent or 0 the bit-identity guarantee
+// above holds exactly.
+//
 // On the first volume failure (after per-volume retries across
 // distinct workers are exhausted) the whole request fails and every
 // outstanding worker job is cancelled; cancelling ctx does the same.

@@ -124,6 +124,16 @@ type Options struct {
 	// many shards each stage runs in flight. The zero value processes
 	// bank 0 as one shard, reproducing the batch path bit-identically.
 	Pipeline pipeline.Config
+	// MaxCandidates enables the two-stage prefilter: before step 2,
+	// each query's subjects are ranked by hashed-seed diagonal-band
+	// score and only the top MaxCandidates survive into ungapped and
+	// gapped extension. Zero (the default) disables the stage and the
+	// pipeline is bit-identical to one without it. E-values are
+	// unaffected either way — the statistics still use the full
+	// subject bank's geometry — so enabling it trades sensitivity
+	// (pairs beyond the top K are never extended) for throughput.
+	// Ignored by CompareBatch, which stays the exhaustive reference.
+	MaxCandidates int
 	// GeneticCode selects the translation table for genome modes
 	// (tblastn/blastx/tblastx); nil means the standard code. Bacterial
 	// and vertebrate-mitochondrial codes are provided by package

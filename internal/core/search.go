@@ -12,6 +12,7 @@ import (
 	"seedblast/internal/index"
 	"seedblast/internal/matrix"
 	"seedblast/internal/pipeline"
+	"seedblast/internal/prefilter"
 	"seedblast/internal/seed"
 	"seedblast/internal/stats"
 	"seedblast/internal/ungapped"
@@ -102,6 +103,23 @@ func WithStep2Kernel(k ungapped.Kernel) Option {
 // flight, per-stage concurrency).
 func WithPipeline(cfg pipeline.Config) Option {
 	return func(o *Options) error { o.Pipeline = cfg; return nil }
+}
+
+// WithMaxCandidates enables the two-stage prefilter: before step 2,
+// each query's subject sequences are ranked by a cheap hashed-seed
+// diagonal-band score and only the top k survive into ungapped and
+// gapped extension. k = 0 disables the stage (the default) and the
+// search is bit-identical to one without it; reported E-values are
+// unchanged for any k because the statistics keep the full subject
+// bank's geometry. See Options.MaxCandidates.
+func WithMaxCandidates(k int) Option {
+	return func(o *Options) error {
+		if k < 0 {
+			return fmt.Errorf("core: negative MaxCandidates %d", k)
+		}
+		o.MaxCandidates = k
+		return nil
+	}
 }
 
 // WithGapped replaces the step-3 configuration wholesale; unset fields
@@ -301,13 +319,14 @@ func (r *Results) Matches() iter.Seq2[Match, error] {
 			return
 		}
 		req := &pipeline.Request{
-			Bank0:   r.query.Bank(),
-			Bank1:   r.target.Bank(),
-			Seed:    r.s.opt.Seed,
-			N:       r.s.opt.N,
-			Workers: r.s.opt.Workers,
-			Gapped:  r.s.gcfg,
-			Index1:  ix1,
+			Bank0:     r.query.Bank(),
+			Bank1:     r.target.Bank(),
+			Seed:      r.s.opt.Seed,
+			N:         r.s.opt.N,
+			Workers:   r.s.opt.Workers,
+			Gapped:    r.s.gcfg,
+			Index1:    ix1,
+			Prefilter: prefilter.Config{MaxCandidates: r.s.opt.MaxCandidates},
 		}
 		// A query-side index is only usable when the engine will not cut
 		// bank 0; reuse one the query target happens to have built.

@@ -1,0 +1,112 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/seed"
+)
+
+func filterTestIndex(t *testing.T) (*bank.Bank, *Index) {
+	t.Helper()
+	rng := bank.NewRNG(3)
+	b := bank.New("s")
+	for i := 0; i < 25; i++ {
+		b.Add(fmt.Sprintf("s%d", i), bank.RandomProtein(rng, 120))
+	}
+	ix, err := Build(b, seed.Default(), 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, ix
+}
+
+// TestFilterSeqsSubset checks the core contract: every bucket of the
+// filtered index is the in-order subsequence of the original bucket
+// whose entries' sequences survived, with the neighbourhood rows
+// carried along, and the metadata (bank, model, N) untouched.
+func TestFilterSeqsSubset(t *testing.T) {
+	b, ix := filterTestIndex(t)
+	keep := []uint32{1, 4, 7, 7, 20} // duplicate is documented as harmless
+	in := map[uint32]bool{1: true, 4: true, 7: true, 20: true}
+	f := ix.FilterSeqs(keep)
+
+	if f.Bank() != b || f.Model() != ix.Model() || f.N() != ix.N() || f.SubLen() != ix.SubLen() {
+		t.Fatal("filtered index does not preserve bank/model/N metadata")
+	}
+	wantTotal := 0
+	for k := 0; k < ix.Model().KeySpace(); k++ {
+		orig, origNb := ix.Bucket(uint32(k))
+		got, gotNb := f.Bucket(uint32(k))
+		sub := ix.SubLen()
+		j := 0
+		for i, e := range orig {
+			if !in[e.Seq] {
+				continue
+			}
+			if j >= len(got) || got[j] != e {
+				t.Fatalf("key %d: filtered bucket %v missing entry %d %v", k, got, i, e)
+			}
+			if !bytes.Equal(gotNb[j*sub:(j+1)*sub], origNb[i*sub:(i+1)*sub]) {
+				t.Fatalf("key %d entry %d: neighbourhood row not carried over", k, i)
+			}
+			j++
+			wantTotal++
+		}
+		if j != len(got) {
+			t.Fatalf("key %d: filtered bucket has %d extra entries", k, len(got)-j)
+		}
+	}
+	if f.NumEntries() != wantTotal {
+		t.Fatalf("NumEntries %d, want %d", f.NumEntries(), wantTotal)
+	}
+}
+
+// TestFilterSeqsAll pins that keeping every sequence reproduces the
+// original index entry-for-entry.
+func TestFilterSeqsAll(t *testing.T) {
+	b, ix := filterTestIndex(t)
+	keep := make([]uint32, b.Len())
+	for i := range keep {
+		keep[i] = uint32(i)
+	}
+	f := ix.FilterSeqs(keep)
+	if f.NumEntries() != ix.NumEntries() {
+		t.Fatalf("NumEntries %d, want %d", f.NumEntries(), ix.NumEntries())
+	}
+	for k := 0; k < ix.Model().KeySpace(); k++ {
+		orig, origNb := ix.Bucket(uint32(k))
+		got, gotNb := f.Bucket(uint32(k))
+		if len(orig) != len(got) {
+			t.Fatalf("key %d: %d entries, want %d", k, len(got), len(orig))
+		}
+		for i := range orig {
+			if orig[i] != got[i] {
+				t.Fatalf("key %d entry %d: %v != %v", k, i, got[i], orig[i])
+			}
+		}
+		if !bytes.Equal(origNb, gotNb) {
+			t.Fatalf("key %d: neighbourhoods differ", k)
+		}
+	}
+}
+
+// TestFilterSeqsNone checks the empty-survivor edge: a valid index
+// with zero entries everywhere.
+func TestFilterSeqsNone(t *testing.T) {
+	_, ix := filterTestIndex(t)
+	f := ix.FilterSeqs(nil)
+	if f.NumEntries() != 0 {
+		t.Fatalf("NumEntries %d, want 0", f.NumEntries())
+	}
+	for k := 0; k < ix.Model().KeySpace(); k++ {
+		if entries, _ := f.Bucket(uint32(k)); len(entries) != 0 {
+			t.Fatalf("key %d: %d entries in empty filter", k, len(entries))
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close on filtered index: %v", err)
+	}
+}

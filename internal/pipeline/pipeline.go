@@ -36,6 +36,7 @@ import (
 	"seedblast/internal/gapped"
 	"seedblast/internal/hwsim"
 	"seedblast/internal/index"
+	"seedblast/internal/prefilter"
 	"seedblast/internal/seed"
 	"seedblast/internal/telemetry"
 	"seedblast/internal/ungapped"
@@ -117,6 +118,17 @@ type Request struct {
 	// engine's largest intermediate and are normally consumed by step 3
 	// shard by shard.
 	KeepHits bool
+
+	// Prefilter enables the candidate-selection stage between step 1
+	// and step 2: each shard's queries are diagonal-scored against the
+	// subject index and only the top MaxCandidates subjects per query
+	// flow into ungapped extension (the backend sees a filtered
+	// subject index, and hits from non-surviving pairs are dropped
+	// before step 3). The zero value is disabled and bypasses the
+	// stage entirely — bit-identical to an engine without it. E-value
+	// statistics are unaffected either way: Gapped's search space
+	// still describes the full subject bank.
+	Prefilter prefilter.Config
 }
 
 // StageMetrics describes one stage's work.
@@ -132,6 +144,7 @@ type Metrics struct {
 	Shards          int           // shards planned
 	Wall            time.Duration // end-to-end engine wall time
 	Index           StageMetrics  // step 1: bank-1 index + shard index builds
+	Prefilter       StageMetrics  // candidate selection (zero when disabled)
 	Step2           StageMetrics
 	Step3           StageMetrics
 	ShardsByBackend map[string]int // step-2 dispatch split (MultiBackend)
@@ -140,6 +153,15 @@ type Metrics struct {
 	// including auto-resolution and its arithmetic-bound fallback — is
 	// observable per run. Accelerator shards are not counted here.
 	ShardsByKernel map[string]int
+	// PrefilterKept and PrefilterDropped count candidate
+	// (query, subject) pairs — pairs sharing at least one seed hit —
+	// that survived and fell to the prefilter's per-query top-K cut.
+	// Both stay zero when the stage is disabled; their sum is the
+	// unfiltered candidate pair count, so kept/(kept+dropped) is the
+	// stage's selectivity. PrefilterQueries counts the queries scored.
+	PrefilterKept    int64
+	PrefilterDropped int64
+	PrefilterQueries int64
 	// MaxBufferedMatches is the peak number of alignments resident in
 	// the engine's shard buffers at any instant. On a materialized Run
 	// every shard's alignments stay buffered until assembly, so the peak
@@ -161,6 +183,11 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.Wall += o.Wall
 	m.Index.Shards += o.Index.Shards
 	m.Index.Busy += o.Index.Busy
+	m.Prefilter.Shards += o.Prefilter.Shards
+	m.Prefilter.Busy += o.Prefilter.Busy
+	m.PrefilterKept += o.PrefilterKept
+	m.PrefilterDropped += o.PrefilterDropped
+	m.PrefilterQueries += o.PrefilterQueries
 	m.Step2.Shards += o.Step2.Shards
 	m.Step2.Busy += o.Step2.Busy
 	m.Step3.Shards += o.Step3.Shards
@@ -388,12 +415,55 @@ func (e *Engine) run(pctx context.Context, req *Request, emit func([]gapped.Alig
 				if ctx.Err() != nil {
 					continue // drain so the sharder can exit
 				}
+				// Candidate selection: diagonal-score the shard's
+				// queries against the full subject index, then hand the
+				// backend an index filtered to the survivor union. The
+				// backend is unchanged — CPU kernels and the simulated
+				// accelerator all just see a smaller ix1 — and the
+				// union filter is tightened to exact per-query
+				// semantics by dropping non-surviving pairs' hits
+				// below.
+				ixSub := ix1
+				var pf *prefilter.Result
+				if req.Prefilter.Enabled() {
+					tp := time.Now()
+					pfr, err := prefilter.Run(sh.Bank, req.Seed, ix1, req.Prefilter)
+					if err != nil {
+						fail(fmt.Errorf("pipeline: prefilter, shard %d: %w", sh.ID, err))
+						continue
+					}
+					pf = pfr
+					ixSub = ix1.FilterSeqs(pf.Union)
+					dp := time.Since(tp)
+					mu.Lock()
+					met.Prefilter.Shards++
+					met.Prefilter.Busy += dp
+					met.PrefilterKept += pf.Kept
+					met.PrefilterDropped += pf.Dropped
+					met.PrefilterQueries += int64(pf.Queries)
+					mu.Unlock()
+					tr.Record("prefilter", tp, dp,
+						telemetry.Int("shard", sh.ID),
+						telemetry.Int("kept", int(pf.Kept)),
+						telemetry.Int("dropped", int(pf.Dropped)))
+				}
 				t0 := time.Now()
-				r, err := e.backend.Step2(ctx, sh, ix1)
+				r, err := e.backend.Step2(ctx, sh, ixSub)
 				d := time.Since(t0)
 				if err != nil {
 					fail(fmt.Errorf("pipeline: step 2, shard %d (%s): %w", sh.ID, e.backend.Name(), err))
 					continue
+				}
+				if pf != nil {
+					// Exact top-K semantics: the union index may pair a
+					// query with a subject only another query kept.
+					kept := r.Hits[:0]
+					for i := range r.Hits {
+						if pf.Keeps(int(r.Hits[i].E0.Seq), r.Hits[i].E1.Seq) {
+							kept = append(kept, r.Hits[i])
+						}
+					}
+					r.Hits = kept
 				}
 				// Remap shard-local sequence numbers to bank-0 numbering.
 				if sh.Start != 0 {

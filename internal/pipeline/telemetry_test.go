@@ -93,11 +93,15 @@ func TestRunWithoutTraceRecordsNothing(t *testing.T) {
 // concurrent runs never coexist with each other's totals.
 func TestMetricsMergeFoldsMaps(t *testing.T) {
 	a := Metrics{
-		Shards: 2,
-		Wall:   3 * time.Second,
-		Index:  StageMetrics{Shards: 2, Busy: time.Second},
-		Step2:  StageMetrics{Shards: 2, Busy: 2 * time.Second},
-		Step3:  StageMetrics{Shards: 2, Busy: 3 * time.Second},
+		Shards:           2,
+		Wall:             3 * time.Second,
+		Index:            StageMetrics{Shards: 2, Busy: time.Second},
+		Step2:            StageMetrics{Shards: 2, Busy: 2 * time.Second},
+		Step3:            StageMetrics{Shards: 2, Busy: 3 * time.Second},
+		Prefilter:        StageMetrics{Shards: 2, Busy: time.Second},
+		PrefilterKept:    40,
+		PrefilterDropped: 60,
+		PrefilterQueries: 8,
 		ShardsByBackend: map[string]int{
 			"cpu": 2,
 		},
@@ -108,11 +112,15 @@ func TestMetricsMergeFoldsMaps(t *testing.T) {
 		MaxBufferedMatches: 10,
 	}
 	b := Metrics{
-		Shards: 3,
-		Wall:   time.Second,
-		Index:  StageMetrics{Shards: 3, Busy: time.Second},
-		Step2:  StageMetrics{Shards: 3, Busy: time.Second},
-		Step3:  StageMetrics{Shards: 3, Busy: time.Second},
+		Shards:           3,
+		Wall:             time.Second,
+		Index:            StageMetrics{Shards: 3, Busy: time.Second},
+		Step2:            StageMetrics{Shards: 3, Busy: time.Second},
+		Step3:            StageMetrics{Shards: 3, Busy: time.Second},
+		Prefilter:        StageMetrics{Shards: 1, Busy: 2 * time.Second},
+		PrefilterKept:    5,
+		PrefilterDropped: 15,
+		PrefilterQueries: 2,
 		ShardsByBackend: map[string]int{
 			"cpu":  1,
 			"rasc": 2,
@@ -129,6 +137,13 @@ func TestMetricsMergeFoldsMaps(t *testing.T) {
 	}
 	if a.Step2.Shards != 5 || a.Step2.Busy != 3*time.Second {
 		t.Errorf("Step2 = %+v", a.Step2)
+	}
+	if a.Prefilter.Shards != 3 || a.Prefilter.Busy != 3*time.Second {
+		t.Errorf("Prefilter = %+v", a.Prefilter)
+	}
+	if a.PrefilterKept != 45 || a.PrefilterDropped != 75 || a.PrefilterQueries != 10 {
+		t.Errorf("prefilter counters = %d/%d/%d, want 45/75/10",
+			a.PrefilterKept, a.PrefilterDropped, a.PrefilterQueries)
 	}
 	if a.ShardsByBackend["cpu"] != 3 || a.ShardsByBackend["rasc"] != 2 {
 		t.Errorf("ShardsByBackend = %v", a.ShardsByBackend)

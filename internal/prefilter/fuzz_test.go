@@ -1,0 +1,92 @@
+package prefilter
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDiagAccumulator replays an arbitrary stream of seed hits and
+// resets against both the sparse accumulator and a naive map-based
+// reference sharing the same hash, checking that the touched-list
+// bookkeeping (cell counts, per-subject best scores, sparse reset)
+// never diverges. A divergence here would silently corrupt candidate
+// ranking across queries.
+func FuzzDiagAccumulator(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 0xff, 0, 0, 0, 0})
+	f.Add(func() []byte {
+		// A run that hammers one diagonal, then resets, then another.
+		var b []byte
+		for i := 0; i < 30; i++ {
+			b = append(b, 1, byte(i%4), 0, 0, 0, 5)
+		}
+		b = append(b, 0, 0, 0, 0, 0, 0)
+		for i := 0; i < 10; i++ {
+			b = append(b, 1, 3, 0, 0, 0, byte(i))
+		}
+		return b
+	}())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const numSubjects = 32
+		// Tiny table so collisions are exercised, small bands too.
+		cfg := Config{MaxCandidates: 1, BandWidth: 4, TableBits: 6}.withDefaults()
+		acc := newAccumulator(cfg, numSubjects)
+		refCells := make(map[uint32]int32)
+		refBest := make(map[uint32]int32)
+
+		check := func() {
+			t.Helper()
+			cand := acc.appendCandidates(nil)
+			if len(cand) != len(refBest) {
+				t.Fatalf("accumulator tracks %d subjects, reference %d", len(cand), len(refBest))
+			}
+			for _, c := range cand {
+				if refBest[c.Seq] != c.Score {
+					t.Fatalf("subject %d: score %d, reference %d", c.Seq, c.Score, refBest[c.Seq])
+				}
+			}
+		}
+
+		for len(data) >= 6 {
+			op := data[0]
+			if op == 0 {
+				check()
+				acc.reset()
+				refCells = make(map[uint32]int32)
+				refBest = make(map[uint32]int32)
+			} else {
+				s := uint32(data[1]) % numSubjects
+				diag := int32(binary.LittleEndian.Uint32(data[2:6]) % 4096)
+				if op%2 == 0 {
+					diag = -diag
+				}
+				acc.add(s, diag)
+				band := (diag + diagBias) >> acc.shift
+				h := cellHash(s, band) & acc.mask
+				refCells[h]++
+				if refCells[h] > refBest[s] {
+					refBest[s] = refCells[h]
+				}
+			}
+			data = data[6:]
+		}
+		check()
+
+		// After a final reset the table must be fully clean: a stale cell
+		// would leak score into the next query.
+		acc.reset()
+		for h, c := range acc.cells {
+			if c != 0 {
+				t.Fatalf("cell %d still %d after reset", h, c)
+			}
+		}
+		for s, b := range acc.best {
+			if b != 0 {
+				t.Fatalf("subject %d best still %d after reset", s, b)
+			}
+		}
+		if len(acc.touchedCells) != 0 || len(acc.touchedSeqs) != 0 {
+			t.Fatal("touched lists not empty after reset")
+		}
+	})
+}

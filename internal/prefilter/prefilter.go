@@ -1,0 +1,317 @@
+// Package prefilter implements an optional candidate-selection stage
+// between step 1 (indexing) and step 2 (ungapped extension): a cheap
+// hashed-seed diagonal scoring pass that ranks subject sequences per
+// query and keeps only the top MaxCandidates, so the expensive
+// extension stages run on a small survivor set instead of every
+// (query, subject) pair that shares one seed hit — the SWORD
+// database_hash / MMseqs2 prefilter design, adapted to this engine's
+// subset-seed index.
+//
+// For each query position with an indexable seed key the stage probes
+// the subject index's bucket and, for every occurrence, increments a
+// compact int32 accumulator cell addressed by a hash of
+// (subject sequence, diagonal band), where the band is the seed
+// diagonal (subject offset − query offset) quantised to BandWidth
+// residues. A subject's score is the maximum cell it touched — the
+// densest run of co-diagonal seed hits, the same signal an ungapped
+// extension rewards, at a fraction of the cost (one hash and one
+// increment per seed pair instead of a W+2N window scoring).
+//
+// The table is intentionally lossy: two (subject, band) pairs may
+// share a cell, which can only inflate a score, never deflate it. A
+// subject with at least one seed hit therefore always scores ≥ 1, so
+// with MaxCandidates ≥ the number of hit subjects the survivor set is
+// exactly the set of subjects sharing a seed with the query and the
+// downstream result is bit-identical to an unfiltered run — the
+// monotonicity contract the equivalence tests pin.
+//
+// E-value statistics are unaffected by construction: the stage selects
+// which pairs are extended but the search-space geometry handed to the
+// gapped stage still describes the full subject bank.
+package prefilter
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/index"
+	"seedblast/internal/seed"
+)
+
+// Defaults for the accumulator shape. The 16-residue band matches the
+// reach of a step-2 window around a seed; 2¹⁶ cells (256 KiB of
+// int32s) keeps the whole table L2-resident per worker.
+const (
+	DefaultBandWidth = 16
+	DefaultTableBits = 16
+)
+
+// diagBias shifts diagonals (subject offset − query offset, which can
+// be negative) into the non-negative range before band quantisation,
+// so banding is a plain arithmetic shift. Sequences are bounded far
+// below 2³⁰ residues, so the biased value never overflows int32.
+const diagBias = int32(1) << 30
+
+// Config tunes the stage. The zero value is disabled: the pipeline
+// bypasses the prefilter entirely and behaves bit-identically to an
+// engine without it.
+type Config struct {
+	// MaxCandidates is the number of subject sequences kept per query,
+	// ranked by diagonal-band score (ties broken by sequence number).
+	// Zero or negative disables the stage.
+	MaxCandidates int
+	// BandWidth is the diagonal quantum in residues; it must be a
+	// power of two. Zero means DefaultBandWidth.
+	BandWidth int
+	// TableBits sizes the accumulator at 2^TableBits cells. Zero means
+	// DefaultTableBits. More bits mean fewer score-inflating cell
+	// collisions at the cost of larger reset lists.
+	TableBits int
+}
+
+// Enabled reports whether the configuration turns the stage on.
+func (c Config) Enabled() bool { return c.MaxCandidates > 0 }
+
+func (c Config) withDefaults() Config {
+	if c.BandWidth <= 0 {
+		c.BandWidth = DefaultBandWidth
+	}
+	if c.TableBits <= 0 {
+		c.TableBits = DefaultTableBits
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.BandWidth&(c.BandWidth-1) != 0 {
+		return fmt.Errorf("prefilter: band width %d is not a power of two", c.BandWidth)
+	}
+	if c.TableBits > 28 {
+		return fmt.Errorf("prefilter: table bits %d is unreasonably large (max 28)", c.TableBits)
+	}
+	return nil
+}
+
+// Candidate is one scored subject sequence.
+type Candidate struct {
+	Score int32
+	Seq   uint32
+}
+
+// Result is the stage's outcome for one query shard.
+type Result struct {
+	// Survivors[q] lists the subject sequence numbers kept for
+	// shard-local query q, sorted ascending.
+	Survivors [][]uint32
+	// Union is the ascending union of all queries' survivors — the
+	// subject set step 2 needs an index for.
+	Union []uint32
+	// Queries is the number of queries scored (len(Survivors)).
+	Queries int
+	// Kept and Dropped count candidate (query, subject) pairs — pairs
+	// sharing at least one seed hit — that survived and fell to the
+	// top-K cut respectively. Kept+Dropped is the unfiltered candidate
+	// pair count.
+	Kept, Dropped int64
+}
+
+// Keeps reports whether subject s survived for shard-local query q.
+func (r *Result) Keeps(q int, s uint32) bool {
+	if q < 0 || q >= len(r.Survivors) {
+		return false
+	}
+	sv := r.Survivors[q]
+	i := sort.Search(len(sv), func(i int) bool { return sv[i] >= s })
+	return i < len(sv) && sv[i] == s
+}
+
+// Run scores every query in the shard bank against the subject index
+// and selects each query's top MaxCandidates subjects. The queries
+// bank uses shard-local numbering (Survivors is indexed the same way);
+// subject numbers are the index's own (global) numbering. Run is
+// deterministic: scoring order, hashing and tie-breaks are all fixed,
+// so the survivor sets are identical across runs and worker counts.
+func Run(queries *bank.Bank, model seed.Model, ix1 *index.Index, cfg Config) (*Result, error) {
+	if queries == nil || model == nil || ix1 == nil {
+		return nil, fmt.Errorf("prefilter: queries, model and subject index are all required")
+	}
+	if !cfg.Enabled() {
+		return nil, fmt.Errorf("prefilter: Run called with a disabled config (MaxCandidates %d)", cfg.MaxCandidates)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	acc := newAccumulator(cfg, ix1.Bank().Len())
+	res := &Result{
+		Survivors: make([][]uint32, queries.Len()),
+		Queries:   queries.Len(),
+	}
+	w := model.Width()
+	inUnion := make([]bool, ix1.Bank().Len())
+	var cand []Candidate
+	for q := 0; q < queries.Len(); q++ {
+		seq := queries.Seq(q)
+		for off := 0; off+w <= len(seq); off++ {
+			key, ok := model.Key(seq[off : off+w])
+			if !ok {
+				continue // unindexable window, exactly as step 1 skips it
+			}
+			entries, _ := ix1.Bucket(key)
+			acc.addEntries(int32(off), entries)
+		}
+		cand = acc.appendCandidates(cand[:0])
+		total := len(cand)
+		kept := selectTopK(cand, cfg.MaxCandidates)
+		sv := make([]uint32, len(kept))
+		for i := range kept {
+			sv[i] = kept[i].Seq
+		}
+		sort.Slice(sv, func(i, j int) bool { return sv[i] < sv[j] })
+		res.Survivors[q] = sv
+		res.Kept += int64(len(sv))
+		res.Dropped += int64(total - len(sv))
+		for _, s := range sv {
+			if !inUnion[s] {
+				inUnion[s] = true
+				res.Union = append(res.Union, s)
+			}
+		}
+		acc.reset()
+	}
+	sort.Slice(res.Union, func(i, j int) bool { return res.Union[i] < res.Union[j] })
+	return res, nil
+}
+
+// selectTopK keeps the k best candidates under the deterministic
+// ranking (score descending, then sequence number ascending), reusing
+// cand's storage. Scores are small seed-hit counts, so the cut point
+// comes from a score histogram in O(cand + maxScore) instead of a
+// full comparison sort — the stage's hot path after the bucket scan.
+func selectTopK(cand []Candidate, k int) []Candidate {
+	if len(cand) <= k {
+		return cand
+	}
+	var maxScore int32
+	for _, c := range cand {
+		if c.Score > maxScore {
+			maxScore = c.Score
+		}
+	}
+	hist := make([]int32, maxScore+1)
+	for _, c := range cand {
+		hist[c.Score]++
+	}
+	// Walk scores downward to the cut score t: everything above t is
+	// kept outright, and the remaining slots go to the lowest sequence
+	// numbers at t.
+	taken := int32(0)
+	t := maxScore
+	for ; t > 1; t-- {
+		if taken+hist[t] > int32(k) {
+			break
+		}
+		taken += hist[t]
+	}
+	need := int32(k) - taken
+	out := cand[:0]
+	var ties []Candidate
+	for _, c := range cand {
+		switch {
+		case c.Score > t:
+			out = append(out, c)
+		case c.Score == t:
+			ties = append(ties, c)
+		}
+	}
+	sort.Slice(ties, func(i, j int) bool { return ties[i].Seq < ties[j].Seq })
+	return append(out, ties[:need]...)
+}
+
+// accumulator is the hashed (subject, diagonal band) score table plus
+// the per-subject best-cell tracker. Both are reset sparsely through
+// touched lists, so per-query cost scales with the query's seed hits
+// rather than the table or bank size.
+type accumulator struct {
+	cells []int32 // 2^TableBits hashed (subject, band) counters
+	mask  uint32
+	shift uint    // log2(BandWidth)
+	best  []int32 // per subject: max cell value it touched; 0 = untouched
+	// touchedCells and touchedSeqs record which entries are nonzero so
+	// reset is O(touched), not O(table+bank).
+	touchedCells []uint32
+	touchedSeqs  []uint32
+}
+
+func newAccumulator(cfg Config, numSubjects int) *accumulator {
+	size := 1 << cfg.TableBits
+	return &accumulator{
+		cells: make([]int32, size),
+		mask:  uint32(size - 1),
+		shift: uint(bits.TrailingZeros(uint(cfg.BandWidth))),
+		best:  make([]int32, numSubjects),
+	}
+}
+
+// addEntries scores one query position's subject bucket: each
+// occurrence lands one increment on its (subject, band) cell.
+func (a *accumulator) addEntries(qoff int32, entries []index.Entry) {
+	for _, e := range entries {
+		a.add(e.Seq, int32(e.Off)-qoff)
+	}
+}
+
+// add records one seed hit against subject s on diagonal diag.
+func (a *accumulator) add(s uint32, diag int32) {
+	band := (diag + diagBias) >> a.shift
+	h := cellHash(s, band) & a.mask
+	c := a.cells[h] + 1
+	a.cells[h] = c
+	if c == 1 {
+		a.touchedCells = append(a.touchedCells, h)
+	}
+	if c > a.best[s] {
+		if a.best[s] == 0 {
+			a.touchedSeqs = append(a.touchedSeqs, s)
+		}
+		a.best[s] = c
+	}
+}
+
+// appendCandidates appends every touched subject with its score to
+// dst. The order is discovery order; callers rank with selectTopK,
+// which imposes the deterministic total order.
+func (a *accumulator) appendCandidates(dst []Candidate) []Candidate {
+	for _, s := range a.touchedSeqs {
+		dst = append(dst, Candidate{Score: a.best[s], Seq: s})
+	}
+	return dst
+}
+
+// reset clears only the touched state, readying the accumulator for
+// the next query.
+func (a *accumulator) reset() {
+	for _, h := range a.touchedCells {
+		a.cells[h] = 0
+	}
+	for _, s := range a.touchedSeqs {
+		a.best[s] = 0
+	}
+	a.touchedCells = a.touchedCells[:0]
+	a.touchedSeqs = a.touchedSeqs[:0]
+}
+
+// cellHash mixes (subject, band) into a table address
+// (splitmix64-style finalizer; deterministic across runs and
+// platforms).
+func cellHash(s uint32, band int32) uint32 {
+	x := uint64(s)<<32 | uint64(uint32(band))
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return uint32(x)
+}

@@ -1,0 +1,193 @@
+package prefilter
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"seedblast/internal/bank"
+	"seedblast/internal/index"
+	"seedblast/internal/seed"
+)
+
+// testWorkload builds a query bank and an indexed subject bank.
+func testWorkload(t *testing.T, nq, ns int) (*bank.Bank, *index.Index) {
+	t.Helper()
+	rng := bank.NewRNG(7)
+	qb := bank.New("q")
+	for i := 0; i < nq; i++ {
+		qb.Add(fmt.Sprintf("q%d", i), bank.RandomProtein(rng, 80))
+	}
+	sb := bank.New("s")
+	for i := 0; i < ns; i++ {
+		sb.Add(fmt.Sprintf("s%d", i), bank.RandomProtein(rng, 150))
+	}
+	ix1, err := index.Build(sb, seed.Default(), 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qb, ix1
+}
+
+// naiveCandidates computes, per query, the set of subjects sharing at
+// least one seed key occurrence — the stage's k=∞ contract.
+func naiveCandidates(qb *bank.Bank, model seed.Model, ix1 *index.Index) [][]uint32 {
+	out := make([][]uint32, qb.Len())
+	w := model.Width()
+	for q := 0; q < qb.Len(); q++ {
+		in := make(map[uint32]bool)
+		seq := qb.Seq(q)
+		for off := 0; off+w <= len(seq); off++ {
+			key, ok := model.Key(seq[off : off+w])
+			if !ok {
+				continue
+			}
+			entries, _ := ix1.Bucket(key)
+			for _, e := range entries {
+				in[e.Seq] = true
+			}
+		}
+		for s := uint32(0); int(s) < ix1.Bank().Len(); s++ {
+			if in[s] {
+				out[q] = append(out[q], s)
+			}
+		}
+	}
+	return out
+}
+
+// TestWideOpenKeepsEveryCandidate pins the monotonicity contract: with
+// MaxCandidates at least the subject count, the survivor sets are
+// exactly the subjects sharing a seed hit, nothing dropped.
+func TestWideOpenKeepsEveryCandidate(t *testing.T) {
+	qb, ix1 := testWorkload(t, 6, 40)
+	model := seed.Default()
+	res, err := Run(qb, model, ix1, Config{MaxCandidates: ix1.Bank().Len()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("wide-open run dropped %d pairs", res.Dropped)
+	}
+	want := naiveCandidates(qb, model, ix1)
+	var total int64
+	for q := range want {
+		if !reflect.DeepEqual(res.Survivors[q], want[q]) {
+			t.Fatalf("query %d survivors %v, want %v", q, res.Survivors[q], want[q])
+		}
+		total += int64(len(want[q]))
+	}
+	if res.Kept != total {
+		t.Fatalf("kept %d, want %d", res.Kept, total)
+	}
+	inUnion := make(map[uint32]bool)
+	for _, sv := range want {
+		for _, s := range sv {
+			inUnion[s] = true
+		}
+	}
+	if len(res.Union) != len(inUnion) {
+		t.Fatalf("union has %d subjects, want %d", len(res.Union), len(inUnion))
+	}
+	for i := 1; i < len(res.Union); i++ {
+		if res.Union[i-1] >= res.Union[i] {
+			t.Fatalf("union not strictly ascending at %d: %v", i, res.Union)
+		}
+	}
+}
+
+// TestTopKCut checks the per-query cut: at most k survivors, the
+// accounting sums to the unfiltered candidate count, and Keeps agrees
+// with the slices.
+func TestTopKCut(t *testing.T) {
+	qb, ix1 := testWorkload(t, 6, 40)
+	model := seed.Default()
+	want := naiveCandidates(qb, model, ix1)
+	var total int64
+	for _, sv := range want {
+		total += int64(len(sv))
+	}
+	for _, k := range []int{1, 3, 10} {
+		res, err := Run(qb, model, ix1, Config{MaxCandidates: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kept+res.Dropped != total {
+			t.Fatalf("k=%d: kept %d + dropped %d != %d candidates", k, res.Kept, res.Dropped, total)
+		}
+		for q, sv := range res.Survivors {
+			if len(sv) > k {
+				t.Fatalf("k=%d: query %d kept %d subjects", k, q, len(sv))
+			}
+			for _, s := range sv {
+				if !res.Keeps(q, s) {
+					t.Fatalf("k=%d: Keeps(%d, %d) = false for a survivor", k, q, s)
+				}
+			}
+			if res.Keeps(q, uint32(ix1.Bank().Len())+7) {
+				t.Fatalf("k=%d: Keeps accepted an out-of-bank subject", k)
+			}
+		}
+		if res.Keeps(-1, 0) || res.Keeps(qb.Len(), 0) {
+			t.Fatal("Keeps accepted an out-of-range query")
+		}
+	}
+}
+
+// TestSelfHitRanksFirst is the sensitivity smoke test: a subject that
+// is a copy of the query out-scores unrelated sequences, so k=1 keeps
+// exactly it.
+func TestSelfHitRanksFirst(t *testing.T) {
+	rng := bank.NewRNG(11)
+	q := bank.RandomProtein(rng, 100)
+	qb := bank.New("q")
+	qb.Add("q0", q)
+	sb := bank.New("s")
+	for i := 0; i < 20; i++ {
+		sb.Add(fmt.Sprintf("s%d", i), bank.RandomProtein(rng, 100))
+	}
+	sb.Add("self", q) // sequence 20
+	ix1, err := index.Build(sb, seed.Default(), 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(qb, seed.Default(), ix1, Config{MaxCandidates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Survivors[0]) != 1 || res.Survivors[0][0] != 20 {
+		t.Fatalf("k=1 kept %v, want the self hit [20]", res.Survivors[0])
+	}
+}
+
+// TestRunDeterministic pins run-to-run stability of the whole result.
+func TestRunDeterministic(t *testing.T) {
+	qb, ix1 := testWorkload(t, 5, 30)
+	a, err := Run(qb, seed.Default(), ix1, Config{MaxCandidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(qb, seed.Default(), ix1, Config{MaxCandidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical runs produced different results")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	qb, ix1 := testWorkload(t, 1, 2)
+	if _, err := Run(qb, seed.Default(), ix1, Config{}); err == nil {
+		t.Fatal("disabled config accepted")
+	}
+	if _, err := Run(qb, seed.Default(), ix1, Config{MaxCandidates: 1, BandWidth: 12}); err == nil {
+		t.Fatal("non-power-of-two band width accepted")
+	}
+	if _, err := Run(qb, seed.Default(), ix1, Config{MaxCandidates: 1, TableBits: 31}); err == nil {
+		t.Fatal("oversized table accepted")
+	}
+	if _, err := Run(nil, seed.Default(), ix1, Config{MaxCandidates: 1}); err == nil {
+		t.Fatal("nil queries accepted")
+	}
+}

@@ -88,6 +88,12 @@ type OptionsJSON struct {
 	InFlight      int    `json:"inFlight,omitempty"`
 	StreamWorkers int    `json:"streamWorkers,omitempty"`
 	GeneticCode   string `json:"geneticCode,omitempty"`
+	// MaxCandidates enables the two-stage prefilter: only the top k
+	// subjects per query (by hashed-seed diagonal score) are extended.
+	// Absent or 0 disables it (bit-identical to today's behaviour);
+	// E-values are unaffected either way. On a cluster worker the cut
+	// applies per volume — see cluster.Coordinator.Compare.
+	MaxCandidates *int `json:"maxCandidates,omitempty"`
 	// SearchSpace is the volume context: when the submitted subject is
 	// one volume of a larger partitioned bank, the coordinator sets the
 	// full bank's geometry here so this worker's E-values (and the
@@ -203,6 +209,12 @@ func buildOptions(oj OptionsJSON) (core.Options, error) {
 		InFlight:     oj.InFlight,
 		Step2Workers: oj.StreamWorkers,
 		Step3Workers: oj.StreamWorkers,
+	}
+	if oj.MaxCandidates != nil {
+		if *oj.MaxCandidates < 0 {
+			return opt, fmt.Errorf("negative maxCandidates %d", *oj.MaxCandidates)
+		}
+		opt.MaxCandidates = *oj.MaxCandidates
 	}
 	if oj.GeneticCode != "" {
 		code, err := translate.CodeByName(oj.GeneticCode)

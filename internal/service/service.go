@@ -266,12 +266,20 @@ type MetricsSnapshot struct {
 	// Metrics accounting), plus total engine wall time. IndexBusy only
 	// grows when an index is actually built, so its ratio to Step2Busy
 	// shrinks as the cache gets hotter.
-	IndexBusy time.Duration
-	Step2Busy time.Duration
-	Step3Busy time.Duration
-	Wall      time.Duration
+	IndexBusy     time.Duration
+	PrefilterBusy time.Duration
+	Step2Busy     time.Duration
+	Step3Busy     time.Duration
+	Wall          time.Duration
 
 	Alignments int64 // alignments reported across completed runs
+
+	// Prefilter pair accounting summed over completed runs: candidate
+	// (query, subject) pairs kept by and dropped at the per-query
+	// top-K cut. Both stay zero while no request enables
+	// maxCandidates.
+	PrefilterKept    int64
+	PrefilterDropped int64
 }
 
 // Service is the comparison service. Create with New; all methods are
@@ -285,9 +293,10 @@ type Service struct {
 
 	store *JobStore[*Job]
 
-	reg       *telemetry.Registry
-	stageHist map[string]*telemetry.Histogram // span name → latency histogram
-	reqHist   *telemetry.Histogram            // whole-request latency
+	reg           *telemetry.Registry
+	stageHist     map[string]*telemetry.Histogram // span name → latency histogram
+	reqHist       *telemetry.Histogram            // whole-request latency
+	survivorsHist *telemetry.Histogram            // prefilter survivors per query
 
 	mu      sync.Mutex
 	seq     int
@@ -296,14 +305,17 @@ type Service struct {
 	running int
 	waiting int
 
-	submitted  int64
-	completed  int64
-	failed     int64
-	indexBusy  time.Duration
-	step2Busy  time.Duration
-	step3Busy  time.Duration
-	wall       time.Duration
-	alignments int64
+	submitted        int64
+	completed        int64
+	failed           int64
+	indexBusy        time.Duration
+	prefilterBusy    time.Duration
+	step2Busy        time.Duration
+	step3Busy        time.Duration
+	wall             time.Duration
+	alignments       int64
+	prefilterKept    int64
+	prefilterDropped int64
 
 	wg sync.WaitGroup // outstanding async jobs
 }
@@ -366,11 +378,19 @@ func (s *Service) registerMetrics() {
 		func(m MetricsSnapshot) float64 { return float64(m.Cache.Entries) })
 	gau("index_cache_hit_rate", "Cache hits over lookups since start.",
 		func(m MetricsSnapshot) float64 { return m.CacheHitRate })
-	for stage, get := range map[string]func(MetricsSnapshot) time.Duration{
-		"index": func(m MetricsSnapshot) time.Duration { return m.IndexBusy },
-		"step2": func(m MetricsSnapshot) time.Duration { return m.Step2Busy },
-		"step3": func(m MetricsSnapshot) time.Duration { return m.Step3Busy },
+	// Registration order fixes the exposition order (index first —
+	// scrapers reading the family without labels see a live series),
+	// so this stays a slice, not a map.
+	for _, sc := range []struct {
+		stage string
+		get   func(MetricsSnapshot) time.Duration
+	}{
+		{"index", func(m MetricsSnapshot) time.Duration { return m.IndexBusy }},
+		{"prefilter", func(m MetricsSnapshot) time.Duration { return m.PrefilterBusy }},
+		{"step2", func(m MetricsSnapshot) time.Duration { return m.Step2Busy }},
+		{"step3", func(m MetricsSnapshot) time.Duration { return m.Step3Busy }},
 	} {
+		stage, get := sc.stage, sc.get
 		r.Func("seedservd_stage_busy_seconds_total",
 			"Per-stage busy time summed over completed runs.",
 			telemetry.TypeCounter,
@@ -381,9 +401,20 @@ func (s *Service) registerMetrics() {
 		func(m MetricsSnapshot) float64 { return m.Wall.Seconds() })
 	cnt("alignments_total", "Alignments reported across completed runs.",
 		func(m MetricsSnapshot) float64 { return float64(m.Alignments) })
+	cnt("prefilter_kept_total", "Candidate pairs kept by the prefilter's per-query top-K cut.",
+		func(m MetricsSnapshot) float64 { return float64(m.PrefilterKept) })
+	cnt("prefilter_dropped_total", "Candidate pairs dropped at the prefilter's per-query top-K cut.",
+		func(m MetricsSnapshot) float64 { return float64(m.PrefilterDropped) })
+
+	// Survivors per query, observed once per completed prefiltered run
+	// (the run's mean): the distribution shows how often the top-K cut
+	// actually binds versus passes everything through.
+	s.survivorsHist = r.Histogram("seedservd_prefilter_survivors",
+		"Mean surviving subjects per query on completed prefiltered runs.",
+		telemetry.ExpBuckets(1, 2, 16))
 
 	s.stageHist = make(map[string]*telemetry.Histogram)
-	for _, stage := range []string{"step1", "step2", "step3"} {
+	for _, stage := range []string{"step1", "prefilter", "step2", "step3"} {
 		s.stageHist[stage] = r.Histogram("seedservd_stage_seconds",
 			"Per-shard stage latency, one observation per pipeline span.",
 			telemetry.DurationBuckets, telemetry.L("stage", stage))
@@ -518,18 +549,21 @@ func (s *Service) Metrics() MetricsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return MetricsSnapshot{
-		Submitted:    s.submitted,
-		Completed:    s.completed,
-		Failed:       s.failed,
-		Running:      s.running,
-		Waiting:      s.waiting,
-		Cache:        cs,
-		CacheHitRate: cs.HitRate(),
-		IndexBusy:    s.indexBusy,
-		Step2Busy:    s.step2Busy,
-		Step3Busy:    s.step3Busy,
-		Wall:         s.wall,
-		Alignments:   s.alignments,
+		Submitted:        s.submitted,
+		Completed:        s.completed,
+		Failed:           s.failed,
+		Running:          s.running,
+		Waiting:          s.waiting,
+		Cache:            cs,
+		CacheHitRate:     cs.HitRate(),
+		IndexBusy:        s.indexBusy,
+		PrefilterBusy:    s.prefilterBusy,
+		Step2Busy:        s.step2Busy,
+		Step3Busy:        s.step3Busy,
+		Wall:             s.wall,
+		Alignments:       s.alignments,
+		PrefilterKept:    s.prefilterKept,
+		PrefilterDropped: s.prefilterDropped,
 	}
 }
 
@@ -626,11 +660,17 @@ func (s *Service) run(ctx context.Context, req *Request, onStart func()) (*core.
 			pm = &gres.Result
 		}
 		s.indexBusy += pm.Pipeline.Index.Busy
+		s.prefilterBusy += pm.Pipeline.Prefilter.Busy
 		s.step2Busy += pm.Pipeline.Step2.Busy
 		s.step3Busy += pm.Pipeline.Step3.Busy
 		s.wall += pm.Pipeline.Wall
 		s.alignments += int64(len(pm.Alignments))
+		s.prefilterKept += pm.Pipeline.PrefilterKept
+		s.prefilterDropped += pm.Pipeline.PrefilterDropped
 		s.mu.Unlock()
+		if q := pm.Pipeline.PrefilterQueries; q > 0 {
+			s.survivorsHist.Observe(float64(pm.Pipeline.PrefilterKept) / float64(q))
+		}
 		d := time.Since(start)
 		tr.Record("request", start, d)
 		s.reqHist.Observe(d.Seconds())

@@ -151,6 +151,14 @@ func WithStep2Kernel(k Kernel) Option { return core.WithStep2Kernel(k) }
 // WithPipeline tunes the streaming shard engine.
 func WithPipeline(cfg PipelineConfig) Option { return core.WithPipeline(cfg) }
 
+// WithMaxCandidates enables the two-stage prefilter: each query's
+// subjects are ranked by a cheap hashed-seed diagonal-band score and
+// only the top k survive into ungapped and gapped extension. k = 0
+// (the default) disables the stage and the search is bit-identical to
+// one without it; E-values are unchanged for any k because the
+// statistics keep the full subject bank's geometry.
+func WithMaxCandidates(k int) Option { return core.WithMaxCandidates(k) }
+
 // WithGapped replaces the step-3 configuration.
 func WithGapped(cfg GappedConfig) Option { return core.WithGapped(cfg) }
 
