@@ -427,12 +427,20 @@ var workerFamilies = []string{
 	"seedservd_requests_submitted_total",
 	"seedservd_requests_completed_total",
 	"seedservd_requests_failed_total",
+	"seedservd_requests_running",
+	"seedservd_requests_waiting",
 	"seedservd_stage_busy_seconds_total",
 	"seedservd_engine_wall_seconds_total",
 	"seedservd_alignments_total",
 	"seedservd_prefilter_kept_total",
 	"seedservd_prefilter_dropped_total",
 	"seedservd_prefilter_survivors",
+	"seedservd_index_cache_hits_total",
+	"seedservd_index_cache_misses_total",
+	"seedservd_index_cache_evictions_total",
+	"seedservd_index_cache_disk_loads_total",
+	"seedservd_index_cache_entries",
+	"seedservd_index_cache_hit_rate",
 	"seedservd_stage_seconds",
 	"seedservd_request_seconds",
 }

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"seedblast/internal/service"
+	"seedblast/internal/telemetry"
+)
+
+// TestWorkerFamiliesMatchServiceRegistry pins the schema contract
+// in-process, without a daemon: the families a freshly constructed
+// service actually registers and the workerFamilies list must agree in
+// both directions. This is the same drift the metricname seedlint
+// analyzer catches statically; the test catches it dynamically (and
+// covers registration paths the analyzer's syntax can't see).
+func TestWorkerFamiliesMatchServiceRegistry(t *testing.T) {
+	s := service.New(service.Config{})
+	defer s.Close()
+
+	var buf bytes.Buffer
+	if _, err := s.Registry().WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	fams, err := telemetry.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+
+	// Direction 1: every schema family is actually served.
+	if err := checkWorkerFamilies(fams); err != nil {
+		t.Errorf("schema lists families the service does not register: %v", err)
+	}
+
+	// Direction 2: every served seedservd_ family is in the schema.
+	inSchema := make(map[string]bool, len(workerFamilies))
+	for _, name := range workerFamilies {
+		inSchema[name] = true
+	}
+	for name := range fams {
+		if strings.HasPrefix(name, "seedservd_") && !inSchema[name] {
+			t.Errorf("service registers %s but workerFamilies does not list it", name)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Package jsongold is the seedlint -json golden fixture: one
+// per-package finding (mmapclose) and one cross-package finding
+// (mapdet) with stable positions, pinned by TestSeedlintJSONGolden.
+package jsongold
+
+import (
+	"fmt"
+	"io"
+
+	"seedblast/internal/index"
+)
+
+var totals = map[string]int{}
+
+func leak(path string) {
+	_, _ = index.Open(path)
+}
+
+func dump(w io.Writer) {
+	for k := range totals {
+		fmt.Fprintln(w, k)
+	}
+}

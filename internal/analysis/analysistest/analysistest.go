@@ -48,11 +48,89 @@ func Run(t *testing.T, a *analysis.Analyzer, rels ...string) {
 	}
 }
 
+// RunTree analyzes a whole fixture tree under testdata/src as one
+// multi-package unit: every directory below root that holds .go files
+// becomes a package whose import path is its slash-path relative to
+// testdata/src, so pathMatches-style layer dispatch works the same way
+// it does on the real module. Cross-package analyzers (Collect /
+// Finalize) run once over the full set; per-package analyzers run on
+// each package. Fixture file base names must be unique within a tree —
+// want-comments are claimed by base name and line.
+func RunTree(t *testing.T, a *analysis.Analyzer, roots ...string) {
+	t.Helper()
+	for _, root := range roots {
+		base, err := filepath.Abs(filepath.Join("testdata", "src"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pkgs []*analysis.Package
+		var allGoFiles []string
+		walkErr := filepath.WalkDir(filepath.Join(base, filepath.FromSlash(root)), func(dir string, d os.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			rel, err := filepath.Rel(base, dir)
+			if err != nil {
+				return err
+			}
+			pkg, goFiles, err := loadDir(filepath.ToSlash(rel), dir)
+			if err != nil {
+				return err
+			}
+			if pkg != nil {
+				pkgs = append(pkgs, pkg)
+				allGoFiles = append(allGoFiles, goFiles...)
+			}
+			return nil
+		})
+		if walkErr != nil {
+			t.Fatalf("%s: %v", root, walkErr)
+		}
+		if len(pkgs) == 0 {
+			t.Fatalf("%s: fixture tree holds no Go packages", root)
+		}
+		var findings []analysis.Finding
+		if analysis.CrossPackage(a) {
+			findings, err = analysis.RunCross(a, pkgs)
+			if err != nil {
+				t.Fatalf("%s: %v", root, err)
+			}
+		}
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				fs, err := analysis.Run(a, pkg)
+				if err != nil {
+					t.Fatalf("%s: %v", root, err)
+				}
+				findings = append(findings, fs...)
+			}
+		}
+		checkWants(t, root, findings, allGoFiles)
+	}
+}
+
 func runDir(t *testing.T, a *analysis.Analyzer, rel, dir string) {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
+	pkg, goFiles, err := loadDir(rel, dir)
 	if err != nil {
 		t.Fatalf("%s: %v", rel, err)
+	}
+	if pkg == nil {
+		t.Fatalf("%s: fixture dir holds no Go files", rel)
+	}
+	findings, err := analysis.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("%s: %v", rel, err)
+	}
+	checkWants(t, rel, findings, goFiles)
+}
+
+// loadDir parses one fixture directory as a package (nil when the
+// directory has no non-test Go files).
+func loadDir(rel, dir string) (*analysis.Package, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
 	}
 	var goFiles, otherFiles []string
 	for _, e := range entries {
@@ -65,32 +143,35 @@ func runDir(t *testing.T, a *analysis.Analyzer, rel, dir string) {
 			otherFiles = append(otherFiles, filepath.Join(dir, name))
 		}
 	}
+	if len(goFiles) == 0 {
+		return nil, nil, nil
+	}
 	pkg, err := analysis.ParsePackage(rel, dir, goFiles, otherFiles)
 	if err != nil {
-		t.Fatalf("%s: %v", rel, err)
+		return nil, nil, err
 	}
-	findings, err := analysis.Run(a, pkg)
-	if err != nil {
-		t.Fatalf("%s: %v", rel, err)
-	}
+	return pkg, goFiles, nil
+}
 
+// checkWants compares findings against the fixtures' want comments.
+func checkWants(t *testing.T, label string, findings []analysis.Finding, goFiles []string) {
+	t.Helper()
 	var wants []*expectation
 	for _, f := range goFiles {
 		ws, err := parseWants(f)
 		if err != nil {
-			t.Fatalf("%s: %v", rel, err)
+			t.Fatalf("%s: %v", label, err)
 		}
 		wants = append(wants, ws...)
 	}
-
 	for _, f := range findings {
 		if !claim(wants, f) {
-			t.Errorf("%s: unexpected finding: %s", rel, f)
+			t.Errorf("%s: unexpected finding: %s", label, f)
 		}
 	}
 	for _, w := range wants {
 		if !w.matched {
-			t.Errorf("%s: no finding matched want %q at %s:%d", rel, w.rx, w.file, w.line)
+			t.Errorf("%s: no finding matched want %q at %s:%d", label, w.rx, w.file, w.line)
 		}
 	}
 }

@@ -8,6 +8,11 @@ var Analyzers = []*Analyzer{
 	KernelParity,
 	OptClone,
 	ErrClose,
+	SpanEnd,
+	MapDet,
+	MetricName,
+	OptPlumb,
+	Directive,
 }
 
 // ByName returns the named analyzer, or nil.

@@ -146,6 +146,16 @@ func localDecls(body *ast.BlockStmt) map[string]bool {
 	return names
 }
 
+// splitTrim splits s on sep and trims surrounding space from each
+// element.
+func splitTrim(s, sep string) []string {
+	parts := strings.Split(s, sep)
+	for i, p := range parts {
+		parts[i] = strings.TrimSpace(p)
+	}
+	return parts
+}
+
 // typeString renders a syntactic type expression in a normalized form
 // for signature comparison (parameter names stripped by the caller).
 func typeString(e ast.Expr) string {

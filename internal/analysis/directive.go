@@ -1,0 +1,54 @@
+package analysis
+
+// Directive validates the seedlint directive comments themselves: a
+// waiver that names a misspelled analyzer or omits its reason silently
+// suppresses nothing, which is worse than either working or failing
+// loudly. Every //seedlint:... comment must use a known verb (allow,
+// owns), carry the "-- reason" tail, and — for allow — name only
+// analyzers that exist in the registry.
+var Directive = &Analyzer{
+	Name: "directive",
+	Doc: "seedlint directives must use a known verb, name registered analyzers, " +
+		"and carry the mandatory '-- reason' tail (a bare waiver suppresses nothing)",
+}
+
+// runDirective consults ByName, which reads Analyzers, which contains
+// Directive — wiring Run here keeps the initializers acyclic.
+func init() { Directive.Run = runDirective }
+
+func runDirective(pass *Pass) error {
+	pass.buildDirectives()
+	for _, ds := range pass.directives {
+		for _, d := range ds {
+			switch d.verb {
+			case "allow":
+				for _, name := range splitNames(d.args) {
+					if ByName(name) == nil {
+						pass.reportAt(d.pos, "seedlint:allow names unknown analyzer %q", name)
+					}
+				}
+				if d.reason == "" {
+					pass.reportAt(d.pos, "seedlint:allow directive missing the '-- reason' tail; a bare waiver suppresses nothing")
+				}
+			case "owns":
+				if d.reason == "" {
+					pass.reportAt(d.pos, "seedlint:owns directive missing the '-- reason' tail naming who closes the resource")
+				}
+			default:
+				pass.reportAt(d.pos, "unknown seedlint directive %q (allow, owns)", d.verb)
+			}
+		}
+	}
+	return nil
+}
+
+// splitNames splits a comma-separated analyzer list, dropping empties.
+func splitNames(args string) []string {
+	var out []string
+	for _, name := range splitTrim(args, ",") {
+		if name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}

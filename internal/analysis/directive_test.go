@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"seedblast/internal/analysis"
+	"seedblast/internal/analysis/analysistest"
+)
+
+func TestDirective(t *testing.T) {
+	analysistest.Run(t, analysis.Directive, "directive/a")
+}

@@ -1,0 +1,335 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// MapDet flags `range` over a map whose loop body writes to an
+// order-sensitive sink — exactly the class of the PR-9 stage-busy
+// exposition flake, where registering metric families from a map range
+// made the /metrics family order (and therefore the scrape diff)
+// change run to run. Go randomizes map iteration order per run, so any
+// map range that feeds a stream writer, a trace assembly call, or a
+// telemetry registration (registration order fixes exposition order)
+// is nondeterministic output waiting to be noticed. The compliant
+// idiom is collect-keys-then-sort — which ranges a slice, not the map,
+// and so passes untouched.
+//
+// Map-ness is syntactic: locally declared maps (make/literal/var/
+// params), package-level map vars, and selector fields whose name is
+// declared with a map type anywhere in the loaded unit — which is why
+// the analyzer is cross-package (seedcmp ranges over maps declared in
+// internal/pipeline). Writes that stay inside the loop iteration (a
+// per-entry buffer, the entry itself) are order-insensitive and
+// excluded.
+var MapDet = &Analyzer{
+	Name: "mapdet",
+	Doc: "range over a map must not feed order-sensitive sinks (stream writers, trace " +
+		"assembly, metric registration); collect and sort the keys, then range the slice",
+	Collect:  collectMapDet,
+	Finalize: finalizeMapDet,
+}
+
+// orderSinkMethods are method names whose call order is observable in
+// output: stream/buffer writers, encoders, trace assembly, and
+// registry registration (registration order fixes exposition order).
+// The sink target is the method receiver.
+var orderSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true, "WriteTo": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true, // fmt.Fprint* — target is the first argument
+	"Encode": true,                // json/gob stream encoders
+	"Record": true, "Graft": true, // telemetry trace assembly
+	"Counter": true, "Gauge": true, // registry registration
+	"Func": true, "Histogram": true,
+}
+
+// fprintLike marks the methods above whose sink target is the first
+// argument rather than the receiver.
+var fprintLike = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
+
+// collectMapDet exports the package's map-shaped names: named map
+// types, package-level map vars, and struct fields with map types —
+// the evidence finalizeMapDet needs to recognize a map range across
+// package boundaries.
+func collectMapDet(pass *Pass) ([]Fact, error) {
+	var facts []Fact
+	mapTypes := namedMapTypes(pass.Files)
+	for name := range mapTypes {
+		facts = append(facts, Fact{Pkg: pass.Path, Kind: "maptype", Name: name})
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch sp := spec.(type) {
+				case *ast.ValueSpec:
+					// Package-level map vars (type or initializer).
+					if !isMapExprType(sp.Type, mapTypes) && !valuesAreMaps(sp.Values, mapTypes) {
+						continue
+					}
+					for _, id := range sp.Names {
+						facts = append(facts, Fact{
+							Pkg: pass.Path, Pos: pass.Fset.Position(id.Pos()),
+							Kind: "mapvar", Name: id.Name,
+						})
+					}
+				case *ast.TypeSpec:
+					st, ok := sp.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, f := range st.Fields.List {
+						if !isMapExprType(f.Type, mapTypes) {
+							continue
+						}
+						for _, id := range f.Names {
+							facts = append(facts, Fact{
+								Pkg: pass.Path, Pos: pass.Fset.Position(id.Pos()),
+								Kind: "mapfield", Name: id.Name,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return facts, nil
+}
+
+// namedMapTypes collects `type X map[...]...` names in the package.
+func namedMapTypes(files []*ast.File) map[string]bool {
+	out := make(map[string]bool)
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok {
+					if _, isMap := ts.Type.(*ast.MapType); isMap {
+						out[ts.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isMapExprType reports whether the type expression is a map: a
+// MapType literal or a reference to a named map type (possibly
+// package-qualified; qualified names match on the bare type name).
+func isMapExprType(e ast.Expr, mapTypes map[string]bool) bool {
+	switch t := e.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.Ident:
+		return mapTypes[t.Name]
+	case *ast.SelectorExpr:
+		return mapTypes[t.Sel.Name]
+	}
+	return false
+}
+
+// valuesAreMaps reports whether any initializer is a map literal or
+// make(map[...]).
+func valuesAreMaps(values []ast.Expr, mapTypes map[string]bool) bool {
+	for _, v := range values {
+		if isMapValue(v, mapTypes) {
+			return true
+		}
+	}
+	return false
+}
+
+// isMapValue reports whether the expression evidently produces a map.
+func isMapValue(e ast.Expr, mapTypes map[string]bool) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return isMapExprType(x.Type, mapTypes)
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
+			return isMapExprType(x.Args[0], mapTypes)
+		}
+	}
+	return false
+}
+
+// finalizeMapDet walks every loaded package's range statements with
+// the unit-wide map evidence in hand.
+func finalizeMapDet(u *Unit) error {
+	fields := make(map[string]bool)
+	for _, f := range u.FactsOf("mapfield") {
+		fields[f.Name] = true
+	}
+	perPkgVars := make(map[string]map[string]bool)
+	for _, f := range u.FactsOf("mapvar") {
+		if perPkgVars[f.Pkg] == nil {
+			perPkgVars[f.Pkg] = make(map[string]bool)
+		}
+		perPkgVars[f.Pkg][f.Name] = true
+	}
+	perPkgTypes := make(map[string]map[string]bool)
+	for _, f := range u.FactsOf("maptype") {
+		if perPkgTypes[f.Pkg] == nil {
+			perPkgTypes[f.Pkg] = make(map[string]bool)
+		}
+		perPkgTypes[f.Pkg][f.Name] = true
+	}
+
+	for _, pkg := range u.Packages {
+		pkgVars := perPkgVars[pkg.Path]
+		// Named map types from anywhere in the unit resolve qualified
+		// parameter types (pipeline.ShardCounts); same-name collisions
+		// across packages are acceptable for a calibrated linter.
+		allTypes := make(map[string]bool)
+		for _, types := range perPkgTypes {
+			for name := range types {
+				allTypes[name] = true
+			}
+		}
+		for _, file := range pkg.Files {
+			scopes := allFuncs(file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !rangesOverMap(rs, scopes, pkgVars, fields, allTypes) {
+					return true
+				}
+				if sink := findOrderSink(rs); sink != "" {
+					u.Reportf(pkg, rs.For,
+						"map iteration order reaches order-sensitive sink %s; collect the keys, sort, and range the slice instead",
+						sink)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// rangesOverMap decides, syntactically, whether the range expression
+// is a map: a local declared as one in the enclosing function, a
+// package-level map var, or a selector whose field name is map-typed
+// somewhere in the unit.
+func rangesOverMap(rs *ast.RangeStmt, scopes []funcScope, pkgVars, fields, mapTypes map[string]bool) bool {
+	switch x := rs.X.(type) {
+	case *ast.Ident:
+		if body := innermost(scopes, rs.Pos()); body != nil {
+			if mapLocals(scopes, body, mapTypes)[x.Name] {
+				return true
+			}
+		}
+		return pkgVars[x.Name]
+	case *ast.SelectorExpr:
+		return fields[x.Sel.Name]
+	}
+	return false
+}
+
+// mapLocals collects the names evidently declared as maps within the
+// function owning body: parameters with map types plus local
+// declarations initialized with make(map[...]) or a map literal.
+func mapLocals(scopes []funcScope, body *ast.BlockStmt, mapTypes map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	for _, s := range scopes {
+		if s.body != body {
+			continue
+		}
+		var params *ast.FieldList
+		switch fn := s.node.(type) {
+		case *ast.FuncDecl:
+			params = fn.Type.Params
+		case *ast.FuncLit:
+			params = fn.Type.Params
+		}
+		if params != nil {
+			for _, f := range params.List {
+				if !isMapExprType(f.Type, mapTypes) {
+					continue
+				}
+				for _, id := range f.Names {
+					out[id.Name] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) && len(s.Rhs) != 1 {
+				return true
+			}
+			for i, l := range s.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				rhs := s.Rhs[0]
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				}
+				if isMapValue(rhs, mapTypes) {
+					out[id.Name] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if isMapExprType(s.Type, mapTypes) || valuesAreMaps(s.Values, mapTypes) {
+				for _, id := range s.Names {
+					out[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// findOrderSink scans the loop body for a call whose order is
+// observable in output and whose target is rooted outside the loop
+// iteration; it returns a rendered "target.Method" or "".
+func findOrderSink(rs *ast.RangeStmt) string {
+	// Names scoped to one iteration: the key/value vars and anything
+	// declared inside the body. Writes to those are per-entry state,
+	// not ordered output.
+	iterLocal := localDecls(rs.Body)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			iterLocal[id.Name] = true
+		}
+	}
+	sink := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !orderSinkMethods[sel.Sel.Name] {
+			return true
+		}
+		target := ast.Expr(sel.X)
+		if fprintLike[sel.Sel.Name] {
+			if len(call.Args) == 0 {
+				return true
+			}
+			target = call.Args[0]
+		}
+		root := rootIdent(target)
+		if root == nil || iterLocal[root.Name] {
+			return true
+		}
+		sink = typeString(sel)
+		return false
+	})
+	return sink
+}

@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricName keeps the telemetry registry and loadgen's schema check
+// from drifting apart. The registry side is every metric family
+// registered through internal/telemetry — Counter/Gauge/Histogram/Func
+// call sites, including the repo's helper-closure idiom
+// (cnt := func(name, ...) { r.Func("seedservd_"+name, ...) }) whose
+// one level of prefix indirection the analyzer resolves. The schema
+// side is cmd/loadgen's workerFamilies contract list. The analyzer
+// reports three classes at compile time instead of scrape time:
+// registry↔schema drift in either direction, the same family
+// registered under two different metric types (a runtime panic in
+// Registry.lookup), and names outside the Prometheus data model
+// grammar (which would produce an unscrapable exposition).
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "metric families registered with internal/telemetry must match loadgen's " +
+		"schema list, keep one type per name, and obey the Prometheus name grammar",
+	Collect:  collectMetricName,
+	Finalize: finalizeMetricName,
+}
+
+// promNameRE is the Prometheus data model's metric name grammar — the
+// same rule telemetry.Registry enforces with validName at runtime.
+var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// registryMethods maps registration method names to the metric kind
+// they register. Func's kind comes from its type argument instead.
+var registryMethods = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"Histogram": "histogram",
+	"Func":      "func",
+}
+
+// metricHelper is one resolved helper closure: calls to it register
+// prefix+arg0 with the given kind.
+type metricHelper struct {
+	prefix string
+	kind   string
+}
+
+// collectMetricName exports "metric" facts for every registration call
+// site and "schema" facts for every family name loadgen's
+// workerFamilies contract lists.
+func collectMetricName(pass *Pass) ([]Fact, error) {
+	var facts []Fact
+	for _, file := range pass.Files {
+		helpers := metricHelpers(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Helper-closure call: cnt("requests_running", ...).
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				h, isHelper := helpers[id.Name]
+				if isHelper && len(call.Args) > 0 {
+					if name, ok := stringLit(call.Args[0]); ok {
+						facts = append(facts, Fact{
+							Pkg: pass.Path, Pos: pass.Fset.Position(call.Pos()),
+							Kind: "metric", Name: h.prefix + name,
+							Attrs: map[string]string{"type": h.kind},
+						})
+					}
+					return true
+				}
+			}
+			// Direct registration: r.Counter("name", ...) etc.
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registryMethods[sel.Sel.Name]
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name, ok := stringLit(call.Args[0])
+			if !ok {
+				return true
+			}
+			if kind == "func" {
+				kind = funcTypeArg(call)
+			}
+			facts = append(facts, Fact{
+				Pkg: pass.Path, Pos: pass.Fset.Position(call.Pos()),
+				Kind: "metric", Name: name,
+				Attrs: map[string]string{"type": kind},
+			})
+			return true
+		})
+	}
+	if pathMatches(pass.Path, "cmd/loadgen") {
+		facts = append(facts, schemaFacts(pass)...)
+	}
+	return facts, nil
+}
+
+// metricHelpers finds the registration helper closures in a file:
+// local func literals whose body registers prefix+<first param>.
+func metricHelpers(file *ast.File) map[string]metricHelper {
+	out := make(map[string]metricHelper)
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		name, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lit, ok := as.Rhs[0].(*ast.FuncLit)
+		if !ok || lit.Type.Params == nil || len(lit.Type.Params.List) == 0 {
+			return true
+		}
+		firstParam := ""
+		if names := lit.Type.Params.List[0].Names; len(names) > 0 {
+			firstParam = names[0].Name
+		}
+		if firstParam == "" {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registryMethods[sel.Sel.Name]
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			bin, ok := call.Args[0].(*ast.BinaryExpr)
+			if !ok || bin.Op != token.ADD {
+				return true
+			}
+			prefix, ok := stringLit(bin.X)
+			if !ok {
+				return true
+			}
+			param, ok := bin.Y.(*ast.Ident)
+			if !ok || param.Name != firstParam {
+				return true
+			}
+			if kind == "func" {
+				kind = funcTypeArg(call)
+			}
+			out[name.Name] = metricHelper{prefix: prefix, kind: kind}
+			return false
+		})
+		return true
+	})
+	return out
+}
+
+// funcTypeArg resolves a Registry.Func call's metric type argument
+// (telemetry.TypeCounter → "counter").
+func funcTypeArg(call *ast.CallExpr) string {
+	if len(call.Args) < 3 {
+		return "func"
+	}
+	var name string
+	switch t := call.Args[2].(type) {
+	case *ast.SelectorExpr:
+		name = t.Sel.Name
+	case *ast.Ident:
+		name = t.Name
+	default:
+		return "func"
+	}
+	if k, ok := strings.CutPrefix(name, "Type"); ok {
+		return strings.ToLower(k)
+	}
+	return "func"
+}
+
+// schemaFacts extracts the workerFamilies contract list.
+func schemaFacts(pass *Pass) []Fact {
+	var facts []Fact
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != "workerFamilies" || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range cl.Elts {
+						if name, ok := stringLit(elt); ok {
+							facts = append(facts, Fact{
+								Pkg: pass.Path, Pos: pass.Fset.Position(elt.Pos()),
+								Kind: "schema", Name: name,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// stringLit unwraps a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// finalizeMetricName checks grammar and type consistency on every
+// registration, then — when both sides of the contract are in view —
+// registry↔schema drift in both directions.
+func finalizeMetricName(u *Unit) error {
+	metrics := u.FactsOf("metric")
+	schema := u.FactsOf("schema")
+
+	// Grammar: an invalid name panics Registry registration at boot.
+	for _, m := range metrics {
+		if !promNameRE.MatchString(m.Name) {
+			u.ReportAt(m.Pkg, m.Pos, "metric name %q violates the Prometheus name grammar [a-zA-Z_:][a-zA-Z0-9_:]*", m.Name)
+		}
+	}
+	// One type per family: Registry.lookup panics on a conflict at
+	// runtime; report it at the second registration site instead.
+	firstKind := make(map[string]Fact)
+	for _, m := range metrics {
+		first, seen := firstKind[m.Name]
+		if !seen {
+			firstKind[m.Name] = m
+			continue
+		}
+		if first.Attrs["type"] != m.Attrs["type"] {
+			u.ReportAt(m.Pkg, m.Pos, "metric %q registered as %s here but as %s at %s",
+				m.Name, m.Attrs["type"], first.Attrs["type"], first.Pos)
+		}
+	}
+
+	// Drift needs both sides in view: the loadgen schema list and the
+	// seedservd registration surface it contracts.
+	registered := make(map[string]bool)
+	servdSeen := false
+	for _, m := range metrics {
+		registered[m.Name] = true
+		if strings.HasPrefix(m.Name, "seedservd_") {
+			servdSeen = true
+		}
+	}
+	if len(schema) == 0 || !servdSeen {
+		return nil
+	}
+	inSchema := make(map[string]bool)
+	for _, s := range schema {
+		inSchema[s.Name] = true
+		if !registered[s.Name] {
+			u.ReportAt(s.Pkg, s.Pos, "loadgen schema family %q is not registered by any telemetry call site (registry↔schema drift)", s.Name)
+		}
+	}
+	reportedFamily := make(map[string]bool)
+	for _, m := range metrics {
+		if !strings.HasPrefix(m.Name, "seedservd_") || inSchema[m.Name] || reportedFamily[m.Name] {
+			continue
+		}
+		reportedFamily[m.Name] = true
+		u.ReportAt(m.Pkg, m.Pos, "seedservd metric %q is missing from loadgen's workerFamilies schema check", m.Name)
+	}
+	return nil
+}

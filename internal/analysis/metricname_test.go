@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"seedblast/internal/analysis"
+	"seedblast/internal/analysis/analysistest"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.RunTree(t, analysis.MetricName, "metricname/good", "metricname/bad")
+}

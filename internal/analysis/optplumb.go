@@ -1,0 +1,853 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// OptPlumb enforces the five-layer option plumbing contract every
+// knob PR since the v2 API has hand-threaded: a search option lives in
+// internal/core as a With* setter writing an Options field, is
+// re-exported by the root facade, decoded from the service's
+// OptionsJSON wire struct and applied by buildOptions, carried through
+// the cluster coordinator unmodified, and (for operator-facing knobs)
+// registered as a cmd/seedcmp flag that flows into the facade call.
+// The analyzer cross-parses all five layers into facts and reports any
+// knob missing from a layer — the review-vigilance bug class that
+// WithMaxCandidates and WithStep2Kernel (which touch all five layers)
+// calibrate it against.
+//
+// The dataflow is syntactic but real: buildOptions is analyzed with
+// function-local taint tracking (oj.MaxEValue → g → opt.Gapped;
+// ParseKernel(oj.Kernel) → kernel → opt.Step2Kernel) including
+// control dependence (switch oj.Engine { ... opt.Engine = ... }), and
+// cmd/seedcmp's With* calls are traced back to flag registrations the
+// same way. WithOptions (whole-struct replacement) is the bulk escape
+// hatch, not per-knob management, so it never satisfies a field check.
+var OptPlumb = &Analyzer{
+	Name: "optplumb",
+	Doc: "every search knob must span its layers: core With* setter, facade re-export, " +
+		"OptionsJSON wire field applied by buildOptions, cluster passthrough, seedcmp flag",
+	Collect:  collectOptPlumb,
+	Finalize: finalizeOptPlumb,
+}
+
+// cliExempt names the wire options deliberately absent from seedcmp,
+// each with the reason an operator cannot (or must not) set it there.
+var cliExempt = map[string]string{
+	"n":           "neighbourhood width is tuned through the service API, not the CLI",
+	"workers":     "seedcmp derives stage workers from -stream-workers and the engine",
+	"searchSpace": "volume context is set by the cluster coordinator, never by an operator",
+	"geneticCode": "seedcmp passes -code to the genome target constructor, not the searcher",
+}
+
+func collectOptPlumb(pass *Pass) ([]Fact, error) {
+	switch {
+	case pathMatches(pass.Path, "internal/core"):
+		return coreSetterFacts(pass), nil
+	case isFacadePath(pass.Path):
+		return facadeFacts(pass), nil
+	case pathMatches(pass.Path, "internal/service"):
+		return serviceFacts(pass), nil
+	case pathMatches(pass.Path, "internal/cluster"):
+		return clusterFacts(pass), nil
+	case pathMatches(pass.Path, "cmd/seedcmp"):
+		return seedcmpFacts(pass), nil
+	}
+	return nil, nil
+}
+
+// isFacadePath recognizes the root facade package ("seedblast" in the
+// real module; any path ending in /seedblast in fixture trees).
+func isFacadePath(path string) bool {
+	return path == "seedblast" || strings.HasSuffix(path, "/seedblast")
+}
+
+// isOptionSetter reports whether fd is a With* functional option
+// constructor: one result of type Option.
+func isOptionSetter(fd *ast.FuncDecl) bool {
+	if !strings.HasPrefix(fd.Name.Name, "With") || fd.Type.Results == nil {
+		return false
+	}
+	results := fieldTypes(fd.Type.Results)
+	return len(results) == 1 && results[0] == "Option"
+}
+
+// coreSetterFacts records each With* setter and the top-level Options
+// fields its closure writes ("*" for whole-struct replacement).
+func coreSetterFacts(pass *Pass) []Fact {
+	var facts []Fact
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !isOptionSetter(fd) || fd.Body == nil {
+				continue
+			}
+			lit := returnedFuncLit(fd.Body)
+			if lit == nil {
+				continue
+			}
+			param := firstParamName(lit.Type)
+			fields := make(map[string]bool)
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					if star, ok := lhs.(*ast.StarExpr); ok {
+						if id, ok := star.X.(*ast.Ident); ok && id.Name == param {
+							fields["*"] = true
+						}
+						continue
+					}
+					if f := topFieldOf(lhs, param); f != "" {
+						fields[f] = true
+					}
+				}
+				return true
+			})
+			facts = append(facts, Fact{
+				Pkg: pass.Path, Pos: pass.Fset.Position(fd.Name.Pos()),
+				Kind: "setter", Name: fd.Name.Name,
+				Attrs: map[string]string{"fields": joinSorted(fields)},
+			})
+		}
+	}
+	return facts
+}
+
+// facadeFacts records each root-package With* re-export and the core
+// setter it forwards to.
+func facadeFacts(pass *Pass) []Fact {
+	var facts []Fact
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !isOptionSetter(fd) || fd.Body == nil {
+				continue
+			}
+			target := ""
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if target != "" {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if _, name := calleeOf(call); strings.HasPrefix(name, "With") {
+						target = name
+						return false
+					}
+				}
+				return true
+			})
+			facts = append(facts, Fact{
+				Pkg: pass.Path, Pos: pass.Fset.Position(fd.Name.Pos()),
+				Kind: "reexport", Name: fd.Name.Name,
+				Attrs: map[string]string{"target": target},
+			})
+		}
+	}
+	return facts
+}
+
+// returnedFuncLit digs the functional option's closure out of the
+// setter body (the repo idiom is `return func(o *Options) error {...}`).
+func returnedFuncLit(body *ast.BlockStmt) *ast.FuncLit {
+	var lit *ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit != nil {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 1 {
+			if fl, ok := ret.Results[0].(*ast.FuncLit); ok {
+				lit = fl
+				return false
+			}
+		}
+		return true
+	})
+	return lit
+}
+
+func firstParamName(ft *ast.FuncType) string {
+	if ft.Params == nil || len(ft.Params.List) == 0 || len(ft.Params.List[0].Names) == 0 {
+		return ""
+	}
+	return ft.Params.List[0].Names[0].Name
+}
+
+// topFieldOf returns the field selected directly on the named root in
+// a selector chain (o.Gapped.MaxEValue with root o → "Gapped"), or "".
+func topFieldOf(e ast.Expr, root string) string {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == root {
+				return x.Sel.Name
+			}
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// serviceFacts records the OptionsJSON wire fields and the dataflow
+// buildOptions establishes from each onto core Options fields.
+func serviceFacts(pass *Pass) []Fact {
+	var facts []Fact
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || ts.Name.Name != "OptionsJSON" {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, f := range st.Fields.List {
+						tag := jsonTagName(f)
+						if tag == "" {
+							continue
+						}
+						for _, id := range f.Names {
+							facts = append(facts, Fact{
+								Pkg: pass.Path, Pos: pass.Fset.Position(id.Pos()),
+								Kind: "wirefield", Name: tag,
+								Attrs: map[string]string{"goname": id.Name},
+							})
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name != "buildOptions" || d.Body == nil {
+					continue
+				}
+				facts = append(facts, buildOptionsFlows(pass, d)...)
+			}
+		}
+	}
+	return facts
+}
+
+// jsonTagName extracts the json tag's name segment from a struct field.
+func jsonTagName(f *ast.Field) string {
+	if f.Tag == nil {
+		return ""
+	}
+	tag := reflect.StructTag(strings.Trim(f.Tag.Value, "`")).Get("json")
+	name, _, _ := strings.Cut(tag, ",")
+	if name == "-" {
+		return ""
+	}
+	return name
+}
+
+// flowState is the taint-tracking state for one buildOptions-style
+// function: which wire fields each local carries, and which Options
+// fields each wire field reaches.
+type flowState struct {
+	param string                     // the OptionsJSON parameter name
+	ret   map[string]bool            // returned idents (the Options value under construction)
+	taint map[string]map[string]bool // local → wire gonames it carries
+	flows map[string]map[string]bool // wire goname → Options fields reached
+}
+
+// buildOptionsFlows runs the taint walk over buildOptions and emits
+// one wireflow fact per wire field that reaches an Options field.
+func buildOptionsFlows(pass *Pass, fd *ast.FuncDecl) []Fact {
+	fs := &flowState{
+		param: firstParamName(fd.Type),
+		ret:   make(map[string]bool),
+		taint: make(map[string]map[string]bool),
+		flows: make(map[string]map[string]bool),
+	}
+	if fs.param == "" {
+		return nil
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, e := range ret.Results {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "nil" {
+					fs.ret[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	fs.walkStmts(fd.Body.List, nil)
+
+	var facts []Fact
+	for wire, fields := range fs.flows {
+		facts = append(facts, Fact{
+			Pkg: pass.Path, Pos: pass.Fset.Position(fd.Name.Pos()),
+			Kind: "wireflow", Name: wire,
+			Attrs: map[string]string{"opts": joinSorted(fields)},
+		})
+	}
+	return facts
+}
+
+// wireRefs collects the wire gonames an expression depends on: direct
+// oj.Field selections plus the taints of every mentioned local.
+func (fs *flowState) wireRefs(e ast.Expr) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == fs.param {
+				out[sel.Sel.Name] = true
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			for f := range fs.taint[id.Name] {
+				out[f] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func mergeInto(dst map[string]bool, srcs ...map[string]bool) map[string]bool {
+	if dst == nil {
+		dst = make(map[string]bool)
+	}
+	for _, src := range srcs {
+		for k := range src {
+			dst[k] = true
+		}
+	}
+	return dst
+}
+
+// walkStmts processes statements in order under the given control
+// dependence (wire fields mentioned by enclosing if/switch conditions).
+func (fs *flowState) walkStmts(stmts []ast.Stmt, cond map[string]bool) {
+	for _, s := range stmts {
+		fs.walkStmt(s, cond)
+	}
+}
+
+func (fs *flowState) walkStmt(s ast.Stmt, cond map[string]bool) {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		fs.assign(x.Lhs, x.Rhs, cond)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, id := range vs.Names {
+					lhs[i] = id
+				}
+				fs.assign(lhs, vs.Values, cond)
+			}
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			fs.walkStmt(x.Init, cond)
+		}
+		c := mergeInto(nil, cond, fs.wireRefs(x.Cond))
+		fs.walkStmts(x.Body.List, c)
+		if x.Else != nil {
+			fs.walkStmt(x.Else, c)
+		}
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			fs.walkStmt(x.Init, cond)
+		}
+		c := cond
+		if x.Tag != nil {
+			c = mergeInto(nil, cond, fs.wireRefs(x.Tag))
+		}
+		for _, clause := range x.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					c = mergeInto(c, fs.wireRefs(e))
+				}
+				fs.walkStmts(cc.Body, c)
+			}
+		}
+	case *ast.BlockStmt:
+		fs.walkStmts(x.List, cond)
+	case *ast.ForStmt:
+		fs.walkStmts(x.Body.List, cond)
+	case *ast.RangeStmt:
+		c := mergeInto(nil, cond, fs.wireRefs(x.X))
+		fs.walkStmts(x.Body.List, c)
+	}
+}
+
+// assign applies one (possibly multi-value) assignment to the state.
+func (fs *flowState) assign(lhs, rhs []ast.Expr, cond map[string]bool) {
+	for i, l := range lhs {
+		r := rhs[0]
+		if len(rhs) == len(lhs) {
+			r = rhs[i]
+		}
+		refs := mergeInto(nil, cond, fs.wireRefs(r))
+		if len(refs) == 0 {
+			continue
+		}
+		if id, ok := l.(*ast.Ident); ok {
+			if fs.ret[id.Name] {
+				// Whole-value store to the result: unattributable.
+				for w := range refs {
+					fs.flows[w] = mergeInto(fs.flows[w], map[string]bool{"*": true})
+				}
+				continue
+			}
+			fs.taint[id.Name] = mergeInto(fs.taint[id.Name], refs)
+			continue
+		}
+		root := rootIdent(l)
+		if root == nil {
+			continue
+		}
+		if fs.ret[root.Name] {
+			field := topFieldOf(l, root.Name)
+			if field == "" {
+				continue
+			}
+			for w := range refs {
+				fs.flows[w] = mergeInto(fs.flows[w], map[string]bool{field: true})
+			}
+			continue
+		}
+		// Writing a field of a local taints the local as a whole.
+		fs.taint[root.Name] = mergeInto(fs.taint[root.Name], refs)
+	}
+}
+
+// clusterFacts records how internal/cluster carries the wire options:
+// whole-struct passthrough (a parameter of type service.OptionsJSON
+// forwarded as-is) versus field-enumerating rebuilds, which silently
+// drop any knob added later.
+func clusterFacts(pass *Pass) []Fact {
+	var facts []Fact
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Type.Params == nil {
+					return true
+				}
+				for _, f := range x.Type.Params.List {
+					if strings.HasSuffix(typeString(f.Type), "OptionsJSON") {
+						facts = append(facts, Fact{
+							Pkg: pass.Path, Pos: pass.Fset.Position(x.Name.Pos()),
+							Kind: "passthrough", Name: x.Name.Name,
+						})
+					}
+				}
+			case *ast.CompositeLit:
+				if !strings.HasSuffix(typeString(x.Type), "OptionsJSON") {
+					return true
+				}
+				fields := make(map[string]bool)
+				for _, elt := range x.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							fields[id.Name] = true
+						}
+					}
+				}
+				facts = append(facts, Fact{
+					Pkg: pass.Path, Pos: pass.Fset.Position(x.Pos()),
+					Kind: "partialbuild", Name: "OptionsJSON",
+					Attrs: map[string]string{"fields": joinSorted(fields)},
+				})
+			}
+			return true
+		})
+	}
+	return facts
+}
+
+// seedcmpFacts traces each facade With* call in cmd/seedcmp back to
+// flag registrations, via local taint and control dependence.
+func seedcmpFacts(pass *Pass) []Fact {
+	var facts []Fact
+	for _, file := range pass.Files {
+		cs := &cliState{
+			pass:    pass,
+			imports: importNames(file),
+			tainted: make(map[string]bool),
+			facts:   &facts,
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				cs.walkStmts(fd.Body.List, false)
+			}
+		}
+	}
+	return facts
+}
+
+type cliState struct {
+	pass    *Pass
+	imports map[string]string
+	tainted map[string]bool // locals derived from flag registrations
+	facts   *[]Fact
+}
+
+// flagDerived reports whether the expression depends on a flag: it
+// contains a flag.* registration call or mentions a tainted local.
+func (cs *cliState) flagDerived(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, _ := calleeOf(call); recv == "flag" {
+				found = true
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && cs.tainted[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// emitCalls records every facade With* call inside the node with its
+// flag ancestry (argument taint or enclosing control dependence).
+func (cs *cliState) emitCalls(n ast.Node, cond bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !strings.HasPrefix(sel.Sel.Name, "With") {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if path, imported := cs.imports[recv.Name]; !imported || !isFacadePath(path) {
+			return true
+		}
+		flagged := cond
+		for _, arg := range call.Args {
+			if cs.flagDerived(arg) {
+				flagged = true
+			}
+		}
+		*cs.facts = append(*cs.facts, Fact{
+			Pkg: cs.pass.Path, Pos: cs.pass.Fset.Position(call.Pos()),
+			Kind: "cliwire", Name: sel.Sel.Name,
+			Attrs: map[string]string{"flag": fmt.Sprintf("%t", flagged)},
+		})
+		return true
+	})
+}
+
+func (cs *cliState) walkStmts(stmts []ast.Stmt, cond bool) {
+	for _, s := range stmts {
+		cs.walkStmt(s, cond)
+	}
+}
+
+func (cs *cliState) walkStmt(s ast.Stmt, cond bool) {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		cs.emitCalls(x, cond)
+		flagged := cond
+		for _, r := range x.Rhs {
+			if cs.flagDerived(r) {
+				flagged = true
+			}
+		}
+		if flagged {
+			for _, l := range x.Lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					cs.tainted[id.Name] = true
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		cs.emitCalls(x, cond)
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				flagged := cond
+				for _, v := range vs.Values {
+					if cs.flagDerived(v) {
+						flagged = true
+					}
+				}
+				if flagged {
+					for _, id := range vs.Names {
+						cs.tainted[id.Name] = true
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			cs.walkStmt(x.Init, cond)
+		}
+		c := cond || cs.flagDerived(x.Cond)
+		cs.walkStmts(x.Body.List, c)
+		if x.Else != nil {
+			cs.walkStmt(x.Else, c)
+		}
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			cs.walkStmt(x.Init, cond)
+		}
+		c := cond
+		if x.Tag != nil && cs.flagDerived(x.Tag) {
+			c = true
+		}
+		for _, clause := range x.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				cs.walkStmts(cc.Body, c)
+			}
+		}
+	case *ast.BlockStmt:
+		cs.walkStmts(x.List, cond)
+	case *ast.ForStmt:
+		cs.walkStmts(x.Body.List, cond)
+	case *ast.RangeStmt:
+		cs.walkStmts(x.Body.List, cond)
+	default:
+		cs.emitCalls(s, cond)
+	}
+}
+
+// finalizeOptPlumb runs the layer-pair contracts for every pair whose
+// packages are in view, so `seedlint ./internal/service/` checks what
+// it can see and the whole-module run checks everything.
+func finalizeOptPlumb(u *Unit) error {
+	setters := make(map[string]Fact)
+	for _, f := range u.FactsOf("setter") {
+		setters[f.Name] = f
+	}
+	reexports := make(map[string]Fact)
+	for _, f := range u.FactsOf("reexport") {
+		reexports[f.Name] = f
+	}
+	wirefields := u.FactsOf("wirefield")
+	wirefieldByGoname := make(map[string]Fact)
+	for _, f := range wirefields {
+		wirefieldByGoname[f.Attrs["goname"]] = f
+	}
+	flows := make(map[string]map[string]bool) // goname → Options fields
+	for _, f := range u.FactsOf("wireflow") {
+		flows[f.Name] = fieldSet(f.Attrs["opts"])
+	}
+	cliwires := u.FactsOf("cliwire")
+
+	haveCore := len(setters) > 0
+	haveFacade := len(reexports) > 0
+	haveService := len(wirefields) > 0
+	haveCLI := u.Pkg("cmd/seedcmp") != nil
+
+	// Layer pair 1: core ↔ facade. Every setter is re-exported; every
+	// re-export forwards to a real setter.
+	if haveCore && haveFacade {
+		for _, s := range sortedFacts(setters) {
+			if _, ok := reexports[s.Name]; !ok {
+				u.ReportAt(s.Pkg, s.Pos, "core setter %s has no facade re-export in the root package", s.Name)
+			}
+		}
+		for _, r := range sortedFacts(reexports) {
+			if r.Attrs["target"] == "" {
+				continue
+			}
+			if _, ok := setters[r.Attrs["target"]]; !ok {
+				u.ReportAt(r.Pkg, r.Pos, "facade %s forwards to unknown core setter %s", r.Name, r.Attrs["target"])
+			}
+		}
+	}
+
+	// Layer 2: wire → buildOptions. A decoded field nothing applies is
+	// a knob the operator can set with no effect.
+	if haveService {
+		for _, w := range wirefields {
+			if len(flows[w.Attrs["goname"]]) == 0 {
+				u.ReportAt(w.Pkg, w.Pos, "wire option %q is decoded into OptionsJSON but never applied by buildOptions", w.Name)
+			}
+		}
+	}
+
+	// Layer pair 3: wire → core. Every Options field the wire reaches
+	// must be managed by a dedicated With* setter (WithOptions's
+	// whole-struct "*" does not count).
+	if haveService && haveCore {
+		for _, w := range wirefields {
+			for _, field := range sortedKeys(flows[w.Attrs["goname"]]) {
+				if field == "*" {
+					continue
+				}
+				if !fieldHasSetter(setters, field) {
+					u.ReportAt(w.Pkg, w.Pos,
+						"wire option %q sets core Options field %s, which no With* setter manages; add the setter and its facade re-export",
+						w.Name, field)
+				}
+			}
+		}
+	}
+
+	// Layer 4: cluster. A field-enumerating OptionsJSON rebuild drops
+	// every knob added after it; the contract is whole-struct
+	// passthrough (or at least a complete enumeration).
+	if haveService {
+		for _, p := range u.FactsOf("partialbuild") {
+			built := fieldSet(p.Attrs["fields"])
+			var missing []string
+			for _, w := range wirefields {
+				if !built[w.Attrs["goname"]] {
+					missing = append(missing, w.Name)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				u.ReportAt(p.Pkg, p.Pos,
+					"cluster rebuilds OptionsJSON without %s; forward the caller's options struct whole so new knobs pass through",
+					strings.Join(missing, ", "))
+			}
+		}
+	}
+
+	// Layer 5: seedcmp → facade. Every CLI With* call must target a
+	// real facade export and trace back to a flag registration.
+	if haveFacade {
+		for _, c := range cliwires {
+			if _, ok := reexports[c.Name]; !ok {
+				u.ReportAt(c.Pkg, c.Pos, "seedcmp calls %s, which the facade does not re-export", c.Name)
+			}
+		}
+	}
+	for _, c := range cliwires {
+		if c.Attrs["flag"] != "true" {
+			u.ReportAt(c.Pkg, c.Pos, "seedcmp calls %s with no flag-derived input; register the flag or waive with a reason", c.Name)
+		}
+	}
+
+	// Closing the loop: every wire option must be reachable from a
+	// seedcmp flag through some setter writing its Options fields,
+	// unless the exemption table says why not.
+	if haveCore && haveService && haveFacade && haveCLI {
+		cliSetters := make(map[string]bool)
+		for _, c := range cliwires {
+			if c.Attrs["flag"] == "true" {
+				cliSetters[c.Name] = true
+			}
+		}
+		for _, w := range wirefields {
+			if _, exempt := cliExempt[w.Name]; exempt {
+				continue
+			}
+			fields := flows[w.Attrs["goname"]]
+			if len(fields) == 0 {
+				continue // already reported by the buildOptions check
+			}
+			if !cliReaches(setters, cliSetters, fields) {
+				u.ReportAt(w.Pkg, w.Pos,
+					"wire option %q has no seedcmp flag path (no flag-fed With* call writes Options.%s); plumb the flag or add a cliExempt entry with the reason",
+					w.Name, strings.Join(sortedKeys(fields), "/"))
+			}
+		}
+	}
+	return nil
+}
+
+// fieldHasSetter reports whether any dedicated setter writes the
+// Options field.
+func fieldHasSetter(setters map[string]Fact, field string) bool {
+	for _, s := range setters {
+		fields := fieldSet(s.Attrs["fields"])
+		if fields["*"] {
+			continue
+		}
+		if fields[field] {
+			return true
+		}
+	}
+	return false
+}
+
+// cliReaches reports whether some flag-fed CLI setter writes any of
+// the wire option's Options fields.
+func cliReaches(setters map[string]Fact, cliSetters map[string]bool, fields map[string]bool) bool {
+	for name := range cliSetters {
+		s, ok := setters[name]
+		if !ok {
+			continue
+		}
+		sf := fieldSet(s.Attrs["fields"])
+		if sf["*"] {
+			continue
+		}
+		for f := range fields {
+			if sf[f] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func fieldSet(joined string) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range splitTrim(joined, ",") {
+		if f != "" {
+			out[f] = true
+		}
+	}
+	return out
+}
+
+func joinSorted(set map[string]bool) string {
+	return strings.Join(sortedKeys(set), ",")
+}
+
+func sortedKeys(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedFacts returns the map's facts in name order, so findings come
+// out deterministically.
+func sortedFacts(m map[string]Fact) []Fact {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Fact, 0, len(names))
+	for _, n := range names {
+		out = append(out, m[n])
+	}
+	return out
+}

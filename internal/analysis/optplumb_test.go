@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"seedblast/internal/analysis"
+	"seedblast/internal/analysis/analysistest"
+)
+
+// TestOptPlumb pins the five-layer knob contract on two fixture
+// trees: a compliant one that must stay silent, and a violating one
+// with exactly one dropped plumbing step per layer — the
+// "delete one layer's maxCandidates plumbing and the analyzer fails"
+// demonstration from the invariant's definition.
+func TestOptPlumb(t *testing.T) {
+	analysistest.RunTree(t, analysis.OptPlumb, "optplumb/good", "optplumb/bad")
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SpanEnd enforces the tracing lifetime contract: telemetry.StartSpan
+// hands back an *ActiveSpan whose End() records the span into the
+// trace — a span that never reaches End is simply missing from the
+// trace output, which is the silent kind of observability bug (the
+// stage ran, the trace says it didn't). Every StartSpan result must
+// reach End() on all paths out of the starting function or visibly
+// transfer ownership (returned, passed on, deferred, or stored under a
+// //seedlint:owns marker naming who ends it). The path tracking is the
+// shared resourcelifetime walker mmapclose uses, with End as the
+// discharge method.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc: "telemetry.StartSpan results must reach End() on all paths or visibly transfer " +
+		"ownership; a span that never ends silently vanishes from the trace",
+	Run: runSpanEnd,
+}
+
+// spanLifetime is the spanend diagnostic wording over the shared
+// walker (see mmapLifetime for the mmapclose counterpart).
+var spanLifetime = lifetimeSpec{
+	closeMethod: "End",
+	reportBadStore: func(p *Pass, pos token.Pos, v string) {
+		p.Reportf(pos, "span %s stored into state that outlives this function without a //seedlint:owns marker", v)
+	},
+	reportNeverFreed: func(p *Pass, pos token.Pos, what, v string) {
+		p.Reportf(pos, "span started by %s (%s) never reaches End and never leaves this function; add defer %s.End() or end it on every path", what, v, v)
+	},
+	reportLeakReturn: func(p *Pass, pos token.Pos, v, what string, openLine int) {
+		p.Reportf(pos, "return loses span %s started by %s at line %d (no End or ownership transfer on this path)", v, what, openLine)
+	},
+}
+
+// isSpanStart reports whether call is telemetry.StartSpan (or an
+// unqualified StartSpan inside the telemetry package itself).
+func isSpanStart(call *ast.CallExpr, imports map[string]string, pkgPath string) (string, bool) {
+	recv, name := calleeOf(call)
+	if name != "StartSpan" {
+		return "", false
+	}
+	if recv == "" {
+		if pathMatches(pkgPath, "internal/telemetry") {
+			return name, true
+		}
+		return "", false
+	}
+	if path, ok := imports[recv]; ok && pathMatches(path, "internal/telemetry") {
+		return recv + "." + name, true
+	}
+	return "", false
+}
+
+func runSpanEnd(pass *Pass) error {
+	for _, file := range pass.Files {
+		imports := importNames(file)
+		scopes := allFuncs(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				// A bare StartSpan statement starts a span nothing can
+				// ever end. (StartSpan in a larger expression — e.g.
+				// defer StartSpan(...).End() — is not a bare statement
+				// and is handled by the expression around it.)
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					if what, ok := isSpanStart(call, imports, pass.Path); ok {
+						pass.Reportf(call.Pos(), "result of %s is dropped; the span can never End and vanishes from the trace", what)
+					}
+				}
+			case *ast.AssignStmt:
+				if len(stmt.Rhs) != 1 || len(stmt.Lhs) != 1 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				what, ok := isSpanStart(call, imports, pass.Path)
+				if !ok {
+					return true
+				}
+				v, ok := stmt.Lhs[0].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if v.Name == "_" {
+					pass.Reportf(call.Pos(), "result of %s is dropped; the span can never End and vanishes from the trace", what)
+					return true
+				}
+				body := innermost(scopes, call.Pos())
+				if body == nil {
+					return true
+				}
+				checkLifetime(pass, body, call, spanLifetime, what, v.Name, "")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"seedblast/internal/analysis"
+	"seedblast/internal/analysis/analysistest"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, analysis.SpanEnd, "spanend/a")
+}

@@ -1,0 +1,19 @@
+// Package a exercises the directive analyzer: seedlint comments must
+// use a known verb, name registered analyzers, and carry the
+// mandatory "-- reason" tail.
+package a
+
+func directives() int {
+	x := 1 //seedlint:allow mmapclose // want "missing the '-- reason' tail"
+	y := 2 //seedlint:allow nosuchanalyzer -- the analyzer name is misspelled // want "unknown analyzer .nosuchanalyzer."
+	z := 3 //seedlint:frobnicate stuff // want "unknown seedlint directive .frobnicate."
+	w := 4 //seedlint:owns // want "seedlint:owns directive missing"
+	return x + y + z + w
+}
+
+func wellFormed() int {
+	x := 1 //seedlint:allow errclose -- reviewed: the close error is reported by the caller
+	y := 2 //seedlint:owns -- released by (*holder).close
+	z := 3 //seedlint:allow mmapclose, errclose -- two analyzers, one waiver
+	return x + y + z
+}

@@ -1,0 +1,98 @@
+// Package a exercises the mapdet analyzer: range over a map must not
+// feed order-sensitive sinks; collect and sort the keys, then range
+// the slice.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"mapdet/a/shard"
+)
+
+var totals = map[string]int{}
+
+type registry struct{}
+
+func (r *registry) Counter(name, help string)   {}
+func (r *registry) Func(name, help string)      {}
+func (r *registry) Histogram(name, help string) {}
+
+// localMapToBuffer streams a local map in random order.
+func localMapToBuffer(buf *bytes.Buffer) {
+	m := map[string]int{"a": 1}
+	for k, v := range m { // want "order-sensitive sink fmt.Fprintf"
+		fmt.Fprintf(buf, "%s %d\n", k, v)
+	}
+}
+
+// pkgVarToWriter streams a package-level map in random order.
+func pkgVarToWriter(w io.Writer) {
+	for k := range totals { // want "order-sensitive sink w.Write"
+		w.Write([]byte(k))
+	}
+}
+
+// registerFromField registers metric families from a map field
+// declared in another package — registration order is exposition
+// order, so this is the PR-9 stage-busy flake shape.
+func registerFromField(r *registry, st *shard.Stats) {
+	for stage := range st.ByStage { // want "order-sensitive sink r.Counter"
+		r.Counter("x_"+stage, "per-stage total")
+	}
+}
+
+// writeCounts ranges a parameter whose named map type lives in
+// another package.
+func writeCounts(w io.Writer, c shard.Counts) {
+	for name := range c { // want "order-sensitive sink fmt.Fprintln"
+		fmt.Fprintln(w, name)
+	}
+}
+
+// sortedKeys is the compliant idiom: collect, sort, range the slice.
+func sortedKeys(w io.Writer) {
+	keys := make([]string, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// perEntryBuffer writes into per-iteration state only; nothing ordered
+// escapes the loop body.
+func perEntryBuffer(m map[string]int, out func(string)) {
+	for k, v := range m {
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "%s=%d", k, v)
+		out(b.String())
+	}
+}
+
+// sliceRange ranges a slice, which iterates deterministically.
+func sliceRange(w io.Writer, st *shard.Stats) {
+	for _, name := range st.Names {
+		fmt.Fprintln(w, name)
+	}
+}
+
+// waived carries a reviewed exemption.
+func waived(w io.Writer) {
+	//seedlint:allow mapdet -- debug dump, order is irrelevant here
+	for k := range totals {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// reasonlessWaiver is inert: the violation is still reported.
+func reasonlessWaiver(w io.Writer) {
+	//seedlint:allow mapdet
+	for k := range totals { // want "order-sensitive sink fmt.Fprintln"
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,13 @@
+// Package shard supplies the cross-package map evidence for the
+// mapdet fixture: a named map type and a struct with a map field,
+// both ranged over from the parent package.
+package shard
+
+// Counts is per-backend shard tallies.
+type Counts map[string]int
+
+// Stats carries per-stage timings and an ordered name list.
+type Stats struct {
+	ByStage map[string]float64
+	Names   []string
+}

@@ -1,0 +1,9 @@
+// Package main is the violating schema side of the metricname
+// fixture: it lists a family nothing registers.
+package main
+
+var workerFamilies = []string{
+	"seedservd_requests_total",
+	"seedservd_mode",
+	"seedservd_ghost_total", // want "not registered by any telemetry call site"
+}

@@ -1,0 +1,28 @@
+// Package service is the violating registration side of the
+// metricname fixture: an unscheduled family, a grammar violation, and
+// a type conflict.
+package service
+
+type metricType string
+
+const (
+	TypeCounter metricType = "counter"
+	TypeGauge   metricType = "gauge"
+)
+
+type registry struct{}
+
+func (r *registry) Counter(name, help string)                                 {}
+func (r *registry) Gauge(name, help string)                                   {}
+func (r *registry) Func(name, help string, typ metricType, fn func() float64) {}
+
+func register(r *registry) {
+	cnt := func(name, help string) {
+		r.Func("seedservd_"+name, help, TypeCounter, nil)
+	}
+	cnt("requests_total", "requests accepted")
+	cnt("orphan_total", "registered but absent from the schema") // want "missing from loadgen's workerFamilies"
+	r.Counter("bad-name", "dashes are outside the grammar")      // want "violates the Prometheus name grammar"
+	r.Counter("seedservd_mode", "registered once as a counter")
+	r.Gauge("seedservd_mode", "and again as a gauge") // want "registered as gauge here but as counter"
+}

@@ -1,0 +1,10 @@
+// Package main is the schema side of the metricname fixture: the
+// workerFamilies contract list, in sync with the service package.
+package main
+
+var workerFamilies = []string{
+	"seedservd_requests_total",
+	"seedservd_requests_running",
+	"seedservd_request_seconds",
+	"seedservd_errors_total",
+}

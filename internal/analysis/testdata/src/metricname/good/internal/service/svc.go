@@ -1,0 +1,32 @@
+// Package service is the registration side of the metricname fixture:
+// helper-closure registrations (the repo's cnt/gau idiom, one level of
+// prefix indirection) plus direct registry calls, all consistent with
+// the loadgen schema next door.
+package service
+
+type metricType string
+
+const (
+	TypeCounter metricType = "counter"
+	TypeGauge   metricType = "gauge"
+)
+
+type registry struct{}
+
+func (r *registry) Counter(name, help string)                                 {}
+func (r *registry) Gauge(name, help string)                                   {}
+func (r *registry) Func(name, help string, typ metricType, fn func() float64) {}
+func (r *registry) Histogram(name, help string, bounds []float64)             {}
+
+func register(r *registry) {
+	cnt := func(name, help string) {
+		r.Func("seedservd_"+name, help, TypeCounter, nil)
+	}
+	gau := func(name, help string) {
+		r.Func("seedservd_"+name, help, TypeGauge, nil)
+	}
+	cnt("requests_total", "requests accepted")
+	gau("requests_running", "requests in flight")
+	r.Histogram("seedservd_request_seconds", "request latency", nil)
+	r.Counter("seedservd_errors_total", "requests failed")
+}

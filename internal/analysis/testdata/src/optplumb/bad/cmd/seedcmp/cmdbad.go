@@ -1,0 +1,21 @@
+// Package main is the CLI layer of the violating optplumb fixture: a
+// call the facade never exported, and a knob hard-coded instead of
+// flag-fed.
+package main
+
+import (
+	"flag"
+
+	seedblast "optplumb/bad/seedblast"
+)
+
+func main() {
+	workers := flag.Int("workers", 4, "stage workers")
+	flag.Parse()
+
+	opts := []seedblast.Option{
+		seedblast.WithWorkers(*workers), // want "which the facade does not re-export"
+		seedblast.WithMaxCandidates(8),  // want "which the facade does not re-export" "no flag-derived input"
+	}
+	_ = opts
+}

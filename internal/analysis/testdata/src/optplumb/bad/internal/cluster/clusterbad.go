@@ -1,0 +1,12 @@
+// Package cluster is the coordinator layer of the violating optplumb
+// fixture: it rebuilds OptionsJSON field by field, silently dropping
+// every knob it does not enumerate.
+package cluster
+
+import "optplumb/bad/internal/service"
+
+func resubmit(th int) service.OptionsJSON {
+	return service.OptionsJSON{ // want "cluster rebuilds OptionsJSON without deadKnob, maxCandidates"
+		Threshold: &th,
+	}
+}

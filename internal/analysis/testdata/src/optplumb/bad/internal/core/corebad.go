@@ -1,0 +1,20 @@
+// Package core is the setter layer of the violating optplumb fixture:
+// a setter with no facade re-export, and no setter at all for the
+// Threshold field the service layer wires.
+package core
+
+type Options struct {
+	Threshold     int
+	MaxCandidates int
+}
+
+type Option func(*Options) error
+
+func WithMaxCandidates(k int) Option { // want "core setter WithMaxCandidates has no facade re-export"
+	return func(o *Options) error {
+		o.MaxCandidates = k
+		return nil
+	}
+}
+
+func DefaultOptions() Options { return Options{} }

@@ -1,0 +1,23 @@
+// Package service is the wire layer of the violating optplumb
+// fixture: a decoded field nothing applies, a field flowing onto an
+// Options field no setter manages, and knobs with no CLI flag path.
+package service
+
+import "optplumb/bad/internal/core"
+
+type OptionsJSON struct {
+	Threshold     *int `json:"threshold,omitempty"`     // want "no With. setter manages" "no seedcmp flag path"
+	MaxCandidates *int `json:"maxCandidates,omitempty"` // want "no seedcmp flag path"
+	DeadKnob      *int `json:"deadKnob,omitempty"`      // want "never applied by buildOptions"
+}
+
+func buildOptions(oj OptionsJSON) (core.Options, error) {
+	opt := core.DefaultOptions()
+	if oj.Threshold != nil {
+		opt.Threshold = *oj.Threshold
+	}
+	if oj.MaxCandidates != nil {
+		opt.MaxCandidates = *oj.MaxCandidates
+	}
+	return opt, nil
+}

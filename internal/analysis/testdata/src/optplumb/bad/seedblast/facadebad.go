@@ -1,0 +1,11 @@
+// Package seedblast is the facade layer of the violating optplumb
+// fixture: it forwards to a core setter that does not exist and fails
+// to re-export the one that does.
+package seedblast
+
+import "optplumb/bad/internal/core"
+
+type Options = core.Options
+type Option = core.Option
+
+func WithGhost(n int) Option { return core.WithGhost(n) } // want "facade WithGhost forwards to unknown core setter WithGhost"

@@ -1,0 +1,26 @@
+// Package main is the CLI layer of the compliant optplumb fixture:
+// each operator knob is a flag that flows into a facade With* call
+// (directly or under flag-derived control dependence).
+package main
+
+import (
+	"flag"
+
+	seedblast "optplumb/good/seedblast"
+)
+
+func main() {
+	var (
+		threshold = flag.Int("threshold", 11, "ungapped cutoff")
+		maxCand   = flag.Int("max-candidates", 0, "prefilter top-k (0 disables)")
+	)
+	flag.Parse()
+
+	opts := []seedblast.Option{
+		seedblast.WithUngappedThreshold(*threshold),
+	}
+	if *maxCand > 0 {
+		opts = append(opts, seedblast.WithMaxCandidates(*maxCand))
+	}
+	_ = opts
+}

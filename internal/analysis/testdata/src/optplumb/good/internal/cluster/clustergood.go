@@ -1,0 +1,10 @@
+// Package cluster is the coordinator layer of the compliant optplumb
+// fixture: the caller's options struct passes through whole, so knobs
+// added later survive the fan-out untouched.
+package cluster
+
+import "optplumb/good/internal/service"
+
+func forward(oj service.OptionsJSON, send func(service.OptionsJSON)) {
+	send(oj)
+}

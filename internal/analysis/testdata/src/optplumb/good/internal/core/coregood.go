@@ -1,0 +1,49 @@
+// Package core is the setter layer of the compliant optplumb fixture.
+package core
+
+import "fmt"
+
+type SearchSpace struct{ DBLen int64 }
+
+type Options struct {
+	Threshold           int
+	MaxCandidates       int
+	SearchSpaceOverride SearchSpace
+}
+
+type Option func(*Options) error
+
+// WithOptions replaces the whole struct — the bulk escape hatch, not
+// per-knob management ("*" in the analyzer's fact).
+func WithOptions(o Options) Option {
+	return func(dst *Options) error {
+		*dst = o
+		return nil
+	}
+}
+
+func WithUngappedThreshold(t int) Option {
+	return func(o *Options) error {
+		o.Threshold = t
+		return nil
+	}
+}
+
+func WithMaxCandidates(k int) Option {
+	return func(o *Options) error {
+		if k < 0 {
+			return fmt.Errorf("core: negative candidate cap %d", k)
+		}
+		o.MaxCandidates = k
+		return nil
+	}
+}
+
+func WithSearchSpace(sp SearchSpace) Option {
+	return func(o *Options) error {
+		o.SearchSpaceOverride = sp
+		return nil
+	}
+}
+
+func DefaultOptions() Options { return Options{} }

@@ -1,0 +1,27 @@
+// Package service is the wire layer of the compliant optplumb
+// fixture: every OptionsJSON field is applied by buildOptions, through
+// locals and control dependence the taint walk must follow.
+package service
+
+import "optplumb/good/internal/core"
+
+type OptionsJSON struct {
+	Threshold     *int   `json:"threshold,omitempty"`
+	MaxCandidates *int   `json:"maxCandidates,omitempty"`
+	SearchSpace   *int64 `json:"searchSpace,omitempty"`
+}
+
+func buildOptions(oj OptionsJSON) (core.Options, error) {
+	opt := core.DefaultOptions()
+	if oj.Threshold != nil {
+		opt.Threshold = *oj.Threshold
+	}
+	if oj.MaxCandidates != nil {
+		opt.MaxCandidates = *oj.MaxCandidates
+	}
+	if oj.SearchSpace != nil {
+		sp := core.SearchSpace{DBLen: *oj.SearchSpace}
+		opt.SearchSpaceOverride = sp
+	}
+	return opt, nil
+}

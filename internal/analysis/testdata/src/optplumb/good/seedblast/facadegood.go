@@ -1,0 +1,14 @@
+// Package seedblast is the facade layer of the compliant optplumb
+// fixture: every core setter has a one-line re-export.
+package seedblast
+
+import "optplumb/good/internal/core"
+
+type Options = core.Options
+type Option = core.Option
+type SearchSpace = core.SearchSpace
+
+func WithOptions(o Options) Option          { return core.WithOptions(o) }
+func WithUngappedThreshold(t int) Option    { return core.WithUngappedThreshold(t) }
+func WithMaxCandidates(k int) Option        { return core.WithMaxCandidates(k) }
+func WithSearchSpace(sp SearchSpace) Option { return core.WithSearchSpace(sp) }

@@ -1,0 +1,99 @@
+// Package a exercises the spanend analyzer: every telemetry.StartSpan
+// result must reach End() on all paths out of the starting function or
+// visibly transfer ownership; a span that never ends silently vanishes
+// from the trace.
+package a
+
+import (
+	"context"
+	"fmt"
+
+	"seedblast/internal/telemetry"
+)
+
+type stage struct {
+	span *telemetry.ActiveSpan
+}
+
+// bareStart starts a span nothing can ever end.
+func bareStart(ctx context.Context) {
+	telemetry.StartSpan(ctx, "step1") // want "dropped"
+}
+
+// blankAssign drops the handle explicitly.
+func blankAssign(ctx context.Context) {
+	_ = telemetry.StartSpan(ctx, "step1") // want "dropped"
+}
+
+// neverEnded starts and forgets.
+func neverEnded(ctx context.Context) int {
+	sp := telemetry.StartSpan(ctx, "step2") // want "never reaches End"
+	_ = sp
+	return 1
+}
+
+// endOnHappyPathOnly loses the span on the strict branch.
+func endOnHappyPathOnly(ctx context.Context, strict bool) error {
+	sp := telemetry.StartSpan(ctx, "step2")
+	if strict {
+		return fmt.Errorf("strict mode") // want "return loses span sp"
+	}
+	sp.End()
+	return nil
+}
+
+// stashWithoutMarker parks the span in a field nobody promised to end.
+func (s *stage) stashWithoutMarker(ctx context.Context) {
+	sp := telemetry.StartSpan(ctx, "step2")
+	s.span = sp // want "outlives this function"
+}
+
+// stashWithMarker names the owner, discharging the obligation.
+func (s *stage) stashWithMarker(ctx context.Context) {
+	sp := telemetry.StartSpan(ctx, "step2")
+	//seedlint:owns -- ended by (*stage).finish
+	s.span = sp
+}
+
+// deferredEnd is the canonical use.
+func deferredEnd(ctx context.Context) int {
+	sp := telemetry.StartSpan(ctx, "step3")
+	defer sp.End()
+	return 1
+}
+
+// endEveryBranch ends explicitly on each path, no defer.
+func endEveryBranch(ctx context.Context, strict bool) error {
+	sp := telemetry.StartSpan(ctx, "step3")
+	if strict {
+		sp.End()
+		return fmt.Errorf("strict mode")
+	}
+	sp.End()
+	return nil
+}
+
+// handoff returns the started span; the caller owns it.
+func handoff(ctx context.Context) *telemetry.ActiveSpan {
+	sp := telemetry.StartSpan(ctx, "step3")
+	return sp
+}
+
+// transfer hands the span to another component.
+func transfer(ctx context.Context, sink func(*telemetry.ActiveSpan)) {
+	sp := telemetry.StartSpan(ctx, "step3")
+	sink(sp)
+}
+
+// waived carries a reviewed exemption.
+func waived(ctx context.Context) {
+	sp := telemetry.StartSpan(ctx, "boot") //seedlint:allow spanend -- process-lifetime span, ended by the exit hook
+	_ = sp
+}
+
+// reasonlessWaiver is inert: the violation is still reported (and the
+// directive analyzer flags the bare waiver separately).
+func reasonlessWaiver(ctx context.Context) {
+	sp := telemetry.StartSpan(ctx, "step4") //seedlint:allow spanend // want "never reaches End"
+	_ = sp
+}

@@ -10,6 +10,7 @@ import (
 	"seedblast/internal/index"
 	"seedblast/internal/matrix"
 	"seedblast/internal/stats"
+	"seedblast/internal/translate"
 )
 
 // Regression for the options bug where a nil Gapped.Matrix replaced
@@ -217,5 +218,25 @@ func TestCompareWithPrebuiltSubjectIndex(t *testing.T) {
 	}
 	if _, err := CompareBatch(b0, b1, bad); err == nil {
 		t.Fatal("CompareBatch accepted mismatched SubjectIndex")
+	}
+}
+
+// Regression for the optplumb calibration finding: the geneticCode
+// wire option reached Options.GeneticCode through buildOptions, but no
+// With* setter managed the field — the v2 functional-option API could
+// not express it at all.
+func TestWithGeneticCodeSetsTranslationTable(t *testing.T) {
+	opt := DefaultOptions()
+	if err := WithGeneticCode(translate.VertebrateMitoCode)(&opt); err != nil {
+		t.Fatalf("WithGeneticCode: %v", err)
+	}
+	if opt.GeneticCode != translate.VertebrateMitoCode {
+		t.Fatalf("GeneticCode not applied: got %p", opt.GeneticCode)
+	}
+	if err := WithGeneticCode(nil)(&opt); err != nil {
+		t.Fatalf("WithGeneticCode(nil): %v", err)
+	}
+	if opt.GeneticCode != nil {
+		t.Fatal("WithGeneticCode(nil) did not reset to the standard code")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"seedblast/internal/prefilter"
 	"seedblast/internal/seed"
 	"seedblast/internal/stats"
+	"seedblast/internal/translate"
 	"seedblast/internal/ungapped"
 )
 
@@ -153,6 +154,17 @@ func WithSearchSpace(sp stats.SearchSpace) Option {
 			return fmt.Errorf("core: %w", err)
 		}
 		o.SearchSpaceOverride = sp
+		return nil
+	}
+}
+
+// WithGeneticCode selects the translation table applied when DNA and
+// genome targets built without an explicit code are translated into
+// their reading frames (Options.GeneticCode; nil means the standard
+// code).
+func WithGeneticCode(code *translate.Code) Option {
+	return func(o *Options) error {
+		o.GeneticCode = code
 		return nil
 	}
 }

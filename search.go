@@ -171,3 +171,7 @@ func WithTraceback(on bool) Option { return core.WithTraceback(on) }
 // WithSearchSpace fixes the database geometry for E-value statistics
 // (the scatter-gather volume context).
 func WithSearchSpace(sp SearchSpace) Option { return core.WithSearchSpace(sp) }
+
+// WithGeneticCode selects the translation table for DNA and genome
+// targets built without an explicit code (nil means the standard code).
+func WithGeneticCode(code *GeneticCode) Option { return core.WithGeneticCode(code) }

@@ -71,6 +71,7 @@ var (
 	_ func(float64) seedblast.Option                  = seedblast.WithMaxEValue
 	_ func(bool) seedblast.Option                     = seedblast.WithTraceback
 	_ func(seedblast.SearchSpace) seedblast.Option    = seedblast.WithSearchSpace
+	_ func(*seedblast.GeneticCode) seedblast.Option   = seedblast.WithGeneticCode
 )
 
 // The Search entry point and the streaming result surface, asserted
